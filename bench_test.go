@@ -1,0 +1,289 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per experiment; see DESIGN.md §4 for the index). They run the same
+// code as cmd/benchtab at a reduced workload scale so `go test -bench=.`
+// stays tractable; cmd/benchtab prints the full tables.
+//
+// Custom metrics attached to the relevant benchmarks report the paper's
+// headline quantities (work reduction, speedup, precision) so the shape
+// of each result is visible straight from the benchmark output.
+package profam_test
+
+import (
+	"fmt"
+	"testing"
+
+	"profam"
+	"profam/internal/experiments"
+	"profam/internal/gos"
+	"profam/internal/mpi"
+	"profam/internal/pace"
+	"profam/internal/quality"
+	"profam/internal/workload"
+)
+
+const benchScale = 0.25
+
+// BenchmarkTableI regenerates Table I (qualitative summary) on scaled
+// 160K-like and 22K-like data sets.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rows[0].DenseSub), "denseSubgraphs")
+			b.ReportMetric(100*rows[0].MeanDensity, "density%")
+		}
+	}
+}
+
+// BenchmarkQuality regenerates the PR/SE/OQ/CC comparison (paper:
+// 95.75 / 56.89 / 55.49 / 73.04 on the 160K set).
+func BenchmarkQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		q, err := experiments.Quality(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*q.VsTruth.Precision(), "PR%")
+			b.ReportMetric(100*q.VsTruth.Sensitivity(), "SE%")
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II (RR/CCD virtual run-times at
+// p = 32..512 on the 80K-like input).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].RR+rows[0].CCD, "simSec@p32")
+			b.ReportMetric(rows[len(rows)-1].RR+rows[len(rows)-1].CCD, "simSec@p512")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the dense-subgraph size histogram.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bounds, _, err := experiments.Fig5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(bounds)), "sizeBuckets")
+		}
+	}
+}
+
+// BenchmarkFig6Sweep regenerates the n × p scaling matrix behind
+// Figures 6a, 6b and 7a.
+func BenchmarkFig6Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(cells) >= 4 {
+			last := cells[len(cells)-1] // largest n, p=512
+			first := cells[len(cells)-4]
+			if last.RR+last.CCD > 0 {
+				b.ReportMetric((first.RR+first.CCD)/(last.RR+last.CCD), "speedup32to512")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7b regenerates the serial DSD time vs (n, c) matrix.
+func BenchmarkFig7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7b(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkReduction regenerates the promising-pairs work-reduction
+// measurement (paper: 99 % vs all-pairs on the 40K input).
+func BenchmarkWorkReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.WorkReduction(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*r.VsAllPairs, "redVsAllPairs%")
+		}
+	}
+}
+
+// --- ablations of the design choices DESIGN.md calls out ------------------
+
+// BenchmarkCCDClosureFilter measures connected-component detection with
+// and without the transitive-closure pair elimination (the paper's main
+// work-reduction heuristic).
+func BenchmarkCCDClosureFilter(b *testing.B) {
+	set, _ := experiments.SetOfSize(300, 9)
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var aligned int64
+			for i := 0; i < b.N; i++ {
+				_, err := mpi.RunSim(1, mpi.CostModel{}, func(c *mpi.Comm) {
+					_, st, err := pace.ConnectedComponents(c, set, nil, pace.Config{Psi: 7, DisableClosureFilter: disabled})
+					if err != nil {
+						panic(err)
+					}
+					aligned = st.PairsAligned
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(aligned), "alignments")
+		})
+	}
+}
+
+// BenchmarkPairOrdering compares decreasing-match-length task ordering
+// against FIFO (the ablation of the paper's on-demand ordering).
+func BenchmarkPairOrdering(b *testing.B) {
+	set, _ := experiments.SetOfSize(300, 11)
+	for _, fifo := range []bool{false, true} {
+		name := "descending"
+		if fifo {
+			name = "fifo"
+		}
+		b.Run(name, func(b *testing.B) {
+			var aligned int64
+			for i := 0; i < b.N; i++ {
+				_, err := mpi.RunSim(1, mpi.CostModel{}, func(c *mpi.Comm) {
+					_, st, err := pace.ConnectedComponents(c, set, nil, pace.Config{Psi: 7, RandomPairOrder: fifo})
+					if err != nil {
+						panic(err)
+					}
+					aligned = st.PairsAligned
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(aligned), "alignments")
+		})
+	}
+}
+
+// BenchmarkPsi sweeps the maximal-match filter length ψ: smaller ψ
+// admits more promising pairs (more alignments, higher sensitivity).
+func BenchmarkPsi(b *testing.B) {
+	set, _ := experiments.SetOfSize(300, 13)
+	for _, psi := range []int{6, 8, 10, 12} {
+		b.Run(fmt.Sprintf("psi=%02d", psi), func(b *testing.B) {
+			var gen int64
+			for i := 0; i < b.N; i++ {
+				_, err := mpi.RunSim(1, mpi.CostModel{}, func(c *mpi.Comm) {
+					_, st, err := pace.ConnectedComponents(c, set, nil, pace.Config{Psi: psi})
+					if err != nil {
+						panic(err)
+					}
+					gen = st.PairsGenerated
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(gen), "pairsGenerated")
+		})
+	}
+}
+
+// BenchmarkIndexKind compares the two maximal-match index
+// implementations (generalized suffix tree vs enhanced suffix array)
+// driving the same CCD phase.
+func BenchmarkIndexKind(b *testing.B) {
+	set, _ := experiments.SetOfSize(300, 15)
+	for _, kind := range []pace.IndexKind{pace.IndexGST, pace.IndexESA} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := mpi.RunSim(1, mpi.CostModel{}, func(c *mpi.Comm) {
+					if _, _, err := pace.ConnectedComponents(c, set, nil, pace.Config{Psi: 7, Index: kind}); err != nil {
+						panic(err)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineVsBaseline contrasts the suffix-tree-filtered
+// pipeline against the Θ(n²) GOS-style baseline on identical input.
+func BenchmarkPipelineVsBaseline(b *testing.B) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 4, MeanFamilySize: 25, MeanLength: 110,
+		Divergence: 0.08, ContainedFrac: 0.1, Singletons: 4, Seed: 17,
+	})
+	cfg := experiments.PipelineConfig()
+	b.Run("pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, _, err := profam.RunSet(set, 1, false, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.RR.PairsAligned+res.CCD.PairsAligned), "alignments")
+			}
+		}
+	})
+	b.Run("gos-baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := gos.Run(set, gos.Config{})
+			if i == 0 {
+				b.ReportMetric(float64(res.Alignments), "alignments")
+			}
+		}
+	})
+}
+
+// BenchmarkEndToEnd runs the complete pipeline at three input sizes.
+func BenchmarkEndToEnd(b *testing.B) {
+	for _, n := range []int{150, 300, 600} {
+		set, _ := experiments.SetOfSize(n, int64(n))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			cfg := experiments.PipelineConfig()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := profam.RunSet(set, 1, false, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQualityMetrics measures the pairwise confusion computation on
+// large labelings (pure counting cost).
+func BenchmarkQualityMetrics(b *testing.B) {
+	n := 100000
+	test := make([]int, n)
+	bench := make([]int, n)
+	for i := range test {
+		test[i] = i % 1000
+		bench[i] = i % 800
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quality.Compare(test, bench); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

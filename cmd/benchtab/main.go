@@ -1,0 +1,150 @@
+// Command benchtab regenerates the paper's tables and figures on scaled
+// synthetic workloads (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	benchtab -exp all            # everything (several minutes)
+//	benchtab -exp table1         # one experiment
+//	benchtab -exp fig6a -scale 0.5
+//
+// Experiments: table1, quality, table2, fig5, fig6a, fig6b, fig7a,
+// fig7b, workred, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"profam/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtab: ")
+	exp := flag.String("exp", "all", "experiment to run (table1 quality table2 fig5 fig6a fig6b fig7a fig7b sensitivity comm ablate workred all)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("--- %s done in %.1fs ---\n\n", name, time.Since(start).Seconds())
+	}
+
+	// Fig 6a/6b/7a share one sweep; compute it lazily once.
+	var fig6Cells []experiments.RRCCDTimes
+	fig6 := func() ([]experiments.RRCCDTimes, error) {
+		if fig6Cells != nil {
+			return fig6Cells, nil
+		}
+		var err error
+		fig6Cells, err = experiments.Fig6(*scale)
+		return fig6Cells, err
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.Table1(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+		return nil
+	})
+	run("quality", func() error {
+		q, err := experiments.Quality(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintQuality(os.Stdout, q)
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := experiments.Table2(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable2(os.Stdout, rows)
+		return nil
+	})
+	run("fig5", func() error {
+		b, c, err := experiments.Fig5(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig5(os.Stdout, b, c)
+		return nil
+	})
+	run("fig6a", func() error {
+		cells, err := fig6()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6a(os.Stdout, cells)
+		return nil
+	})
+	run("fig6b", func() error {
+		cells, err := fig6()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6b(os.Stdout, cells)
+		return nil
+	})
+	run("fig7a", func() error {
+		cells, err := fig6()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7a(os.Stdout, cells)
+		return nil
+	})
+	run("fig7b", func() error {
+		cells, err := experiments.Fig7b(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7b(os.Stdout, cells)
+		return nil
+	})
+	run("sensitivity", func() error {
+		rows, err := experiments.Sensitivity(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintSensitivity(os.Stdout, rows)
+		return nil
+	})
+	run("comm", func() error {
+		rows, err := experiments.Comm(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintComm(os.Stdout, rows)
+		return nil
+	})
+	run("ablate", func() error {
+		rows, err := experiments.Ablate(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblate(os.Stdout, rows)
+		return nil
+	})
+	run("workred", func() error {
+		r, err := experiments.WorkReduction(*scale)
+		if err != nil {
+			return err
+		}
+		experiments.PrintWorkRed(os.Stdout, r)
+		return nil
+	})
+}

@@ -1,0 +1,3 @@
+module profam
+
+go 1.22

@@ -1,0 +1,66 @@
+package align
+
+// LocalScoreBanded computes a banded Smith–Waterman score: the DP is
+// evaluated only on the diagonal band |i−j| ≤ band. Out-of-band H cells
+// are treated as 0 (the local fresh-start floor) and out-of-band gap
+// carries as unreachable, so the result is sandwiched between the
+// strictly-banded score and the full LocalScore — in particular it never
+// exceeds LocalScore, and equals it once the band covers the whole
+// matrix. It is the cheap first stage of a filter cascade: sequence
+// pairs whose promising maximal match pins them near one diagonal can be
+// rejected in O(band·n) instead of O(n·m).
+func (al *Aligner) LocalScoreBanded(a, b []byte, band int) int32 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	if band < 1 {
+		band = 1
+	}
+	if band >= n || band >= m {
+		return al.LocalScore(a, b)
+	}
+	al.grow(0, m)
+	open, ext := al.sc.GapOpen, al.sc.GapExtend
+	h, e := al.m0, al.x0
+	for j := 0; j <= m; j++ {
+		h[j], e[j] = 0, negInf
+	}
+	best := int32(0)
+	for i := 1; i <= n; i++ {
+		lo, hi := i-band, i+band
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > m {
+			hi = m
+		}
+		if lo > m {
+			break
+		}
+		al.Cells += int64(hi - lo + 1)
+		row := al.sc.Sub[a[i-1]-'A']
+		f := negInf
+		diag := h[lo-1]
+		for j := lo; j <= hi; j++ {
+			e[j] = max32(h[j]-open, e[j]-ext)
+			f = max32(h[j-1]-open, f-ext)
+			hv := diag + int32(row[b[j-1]-'A'])
+			if e[j] > hv {
+				hv = e[j]
+			}
+			if f > hv {
+				hv = f
+			}
+			if hv < 0 {
+				hv = 0
+			}
+			diag = h[j]
+			h[j] = hv
+			if hv > best {
+				best = hv
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,92 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandedEqualsFullWithWideBand(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 1+rng.Intn(60))
+		b := randSeq(rng, 1+rng.Intn(60))
+		want := al.LocalScore(a, b)
+		wide := len(a)
+		if len(b) > wide {
+			wide = len(b)
+		}
+		return al.LocalScoreBanded(a, b, wide) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedNeverExceedsFull(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 1+rng.Intn(80))
+		b := randSeq(rng, 1+rng.Intn(80))
+		full := al.LocalScore(a, b)
+		for _, band := range []int{1, 3, 8, 20} {
+			s := al.LocalScoreBanded(a, b, band)
+			if s < 0 || s > full {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedFindsDiagonalMatch(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	// Identical sequences: the optimal path lies on the main diagonal,
+	// so even band=1 must find the full score.
+	s := []byte("MKWVTFISLLFLFSSAYSRGVFRR")
+	full := al.LocalScore(s, s)
+	if got := al.LocalScoreBanded(s, s, 1); got != full {
+		t.Errorf("band=1 on identical sequences: %d, want %d", got, full)
+	}
+}
+
+func TestBandedMissesOffDiagonalMatch(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	motif := "WWHKNMEFRWCYHH"
+	a := []byte(motif + "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAA")
+	b := []byte("TTTTTTTTTTTTTTTTTTTTTTTTTTTTTT" + motif)
+	full := al.LocalScore(a, b)
+	narrow := al.LocalScoreBanded(a, b, 2)
+	if narrow >= full {
+		t.Errorf("narrow band should miss the shifted motif: banded=%d full=%d", narrow, full)
+	}
+}
+
+func TestBandedEmpty(t *testing.T) {
+	al := NewAligner(nil)
+	if al.LocalScoreBanded(nil, []byte("AA"), 3) != 0 {
+		t.Error("empty a")
+	}
+	if al.LocalScoreBanded([]byte("AA"), nil, 3) != 0 {
+		t.Error("empty b")
+	}
+	if al.LocalScoreBanded([]byte("AA"), []byte("AA"), 0) < 0 {
+		t.Error("band clamping failed")
+	}
+}
+
+func BenchmarkLocalBanded(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randSeq(rng, 200)
+	y := randSeq(rng, 200)
+	al := NewAligner(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.LocalScoreBanded(x, y, 16)
+	}
+}

@@ -1,0 +1,169 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteGlobal exhaustively computes the optimal affine-gap global
+// alignment score by recursion over (i, j, state), memoized. It is the
+// gold standard the DP is checked against on tiny inputs.
+func bruteGlobal(sc *Scoring, a, b []byte) int32 {
+	type key struct {
+		i, j, st int
+	}
+	memo := map[key]int32{}
+	var rec func(i, j, st int) int32
+	const (
+		inM = iota
+		inX // gap run consuming a
+		inY // gap run consuming b
+	)
+	rec = func(i, j, st int) int32 {
+		if i == len(a) && j == len(b) {
+			return 0
+		}
+		k := key{i, j, st}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		best := negInf
+		if i < len(a) && j < len(b) {
+			v := sc.Score(a[i], b[j]) + rec(i+1, j+1, inM)
+			if v > best {
+				best = v
+			}
+		}
+		if i < len(a) {
+			cost := sc.GapOpen
+			if st == inX {
+				cost = sc.GapExtend
+			}
+			v := -cost + rec(i+1, j, inX)
+			if v > best {
+				best = v
+			}
+		}
+		if j < len(b) {
+			cost := sc.GapOpen
+			if st == inY {
+				cost = sc.GapExtend
+			}
+			v := -cost + rec(i, j+1, inY)
+			if v > best {
+				best = v
+			}
+		}
+		memo[k] = best
+		return best
+	}
+	return rec(0, 0, inM)
+}
+
+// bruteLocal derives the optimal local score from bruteGlobal over all
+// substring pairs.
+func bruteLocal(sc *Scoring, a, b []byte) int32 {
+	best := int32(0)
+	for i0 := 0; i0 <= len(a); i0++ {
+		for i1 := i0; i1 <= len(a); i1++ {
+			for j0 := 0; j0 <= len(b); j0++ {
+				for j1 := j0; j1 <= len(b); j1++ {
+					if i1 == i0 || j1 == j0 {
+						continue
+					}
+					if v := bruteGlobal(sc, a[i0:i1], b[j0:j1]); v > best {
+						best = v
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestGlobalMatchesBruteForce(t *testing.T) {
+	sc := Blosum62(11, 1)
+	al := NewAligner(sc)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, rng.Intn(8))
+		b := randSeq(rng, rng.Intn(8))
+		if len(a) == 0 && len(b) == 0 {
+			return true
+		}
+		got := al.Align(a, b, Global).Score
+		want := bruteGlobal(sc, a, b)
+		if got != want {
+			t.Logf("seed %d: a=%q b=%q got %d want %d", seed, a, b, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalMatchesBruteForceCheapGaps(t *testing.T) {
+	// Cheap gaps stress the state transitions (X after Y etc.).
+	sc := Identity(3, -2, 1, 1)
+	al := NewAligner(sc)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 1+rng.Intn(7))
+		b := randSeq(rng, 1+rng.Intn(7))
+		return al.Align(a, b, Global).Score == bruteGlobal(sc, a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalMatchesBruteForce(t *testing.T) {
+	sc := Blosum62(5, 2)
+	al := NewAligner(sc)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 1+rng.Intn(6))
+		b := randSeq(rng, 1+rng.Intn(6))
+		got := al.Align(a, b, Local).Score
+		if got < 0 {
+			got = 0
+		}
+		want := bruteLocal(sc, a, b)
+		if got != want {
+			t.Logf("seed %d: a=%q b=%q got %d want %d", seed, a, b, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitMatchesBruteForce(t *testing.T) {
+	// Fit(a into b) = max over b substrings of global(a, substring).
+	sc := Blosum62(5, 2)
+	al := NewAligner(sc)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSeq(rng, 1+rng.Intn(5))
+		b := randSeq(rng, 1+rng.Intn(8))
+		got := al.Align(a, b, Fit).Score
+		want := negInf
+		for j0 := 0; j0 <= len(b); j0++ {
+			for j1 := j0; j1 <= len(b); j1++ {
+				if v := bruteGlobal(sc, a, b[j0:j1]); v > want {
+					want = v
+				}
+			}
+		}
+		if got != want {
+			t.Logf("seed %d: a=%q b=%q got %d want %d", seed, a, b, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package align
+
+// ContainParams are the thresholds of the paper's Definition 1
+// (redundancy removal). Both are fractions in (0, 1].
+type ContainParams struct {
+	// MinIdentity is the minimum identity of the overlapping region
+	// (paper default 0.95).
+	MinIdentity float64
+	// MinCoverage is the minimum fraction of the contained sequence that
+	// must lie inside the overlapping region (paper default 0.95).
+	MinCoverage float64
+}
+
+// DefaultContainParams returns the paper's default (95 % / 95 %) settings.
+func DefaultContainParams() ContainParams {
+	return ContainParams{MinIdentity: 0.95, MinCoverage: 0.95}
+}
+
+// OverlapParams are the thresholds of the paper's Definition 2
+// (connected-component detection).
+type OverlapParams struct {
+	// MinSimilarity is the minimum fraction of positive-scoring columns
+	// in the alignment (paper default 0.30).
+	MinSimilarity float64
+	// MinLongCoverage is the minimum fraction of the longer sequence the
+	// alignment must span (paper default 0.80).
+	MinLongCoverage float64
+}
+
+// DefaultOverlapParams returns the paper's default (30 % / 80 %) settings.
+func DefaultOverlapParams() OverlapParams {
+	return OverlapParams{MinSimilarity: 0.30, MinLongCoverage: 0.80}
+}
+
+// Contained reports whether sequence a is contained in sequence b per
+// Definition 1: a fit alignment of a into b whose overlapping region has
+// identity ≥ p.MinIdentity and covers ≥ p.MinCoverage of a.
+// The returned Result is the alignment that was evaluated.
+func (al *Aligner) Contained(a, b []byte, p ContainParams) (bool, Result) {
+	if len(a) > len(b) {
+		// A longer sequence can never be 95 % covered inside a shorter
+		// one (gaps only hurt); skip the DP.
+		return false, Result{Mode: Fit}
+	}
+	r := al.Align(a, b, Fit)
+	if r.Cols == 0 {
+		return false, r
+	}
+	coveredA := r.EndA - r.StartA
+	cov := float64(coveredA) / float64(len(a))
+	return r.Identity() >= p.MinIdentity && cov >= p.MinCoverage, r
+}
+
+// EitherContained reports containment in either direction and, when true,
+// which sequence is the redundant (contained) one: 0 for a, 1 for b.
+func (al *Aligner) EitherContained(a, b []byte, p ContainParams) (contained bool, which int) {
+	if len(a) <= len(b) {
+		if ok, _ := al.Contained(a, b, p); ok {
+			return true, 0
+		}
+		return false, 0
+	}
+	if ok, _ := al.Contained(b, a, p); ok {
+		return true, 1
+	}
+	return false, 1
+}
+
+// Overlaps reports whether a and b overlap per Definition 2: a local
+// alignment with similarity ≥ p.MinSimilarity spanning at least
+// p.MinLongCoverage of the longer sequence. The span is measured on the
+// longer sequence's aligned range.
+func (al *Aligner) Overlaps(a, b []byte, p OverlapParams) (bool, Result) {
+	r := al.Align(a, b, Local)
+	if r.Cols == 0 {
+		return false, r
+	}
+	longLen := len(a)
+	span := r.EndA - r.StartA
+	if len(b) > longLen {
+		longLen = len(b)
+		span = r.EndB - r.StartB
+	}
+	cov := float64(span) / float64(longLen)
+	return r.Similarity() >= p.MinSimilarity && cov >= p.MinLongCoverage, r
+}

@@ -1,0 +1,120 @@
+// Package align implements pairwise amino-acid sequence alignment:
+// Needleman–Wunsch global, Smith–Waterman local, and "fit" (containment)
+// alignment, all with affine gap penalties (Gotoh's method), plus the two
+// similarity predicates the paper builds its pipeline on:
+//
+//   - Definition 1 (containment): an optimal alignment covering ≥95 % of
+//     the shorter sequence at ≥95 % similarity — used by redundancy removal.
+//   - Definition 2 (overlap): a local alignment covering ≥80 % of the
+//     longer sequence at ≥30 % similarity — used by connected-component
+//     detection.
+package align
+
+import "fmt"
+
+// Scoring holds a substitution matrix and affine gap penalties.
+// Sub is indexed by ASCII letter minus 'A' for both residues; entries for
+// letters outside the amino-acid alphabet are the X (unknown) scores.
+// GapOpen is the cost of the first residue of a gap, GapExtend of each
+// subsequent one; both are positive numbers that get subtracted.
+type Scoring struct {
+	Name      string
+	Sub       [26][26]int16
+	GapOpen   int32
+	GapExtend int32
+}
+
+// Score returns the substitution score for aligning residues a and b
+// (ASCII upper-case letters).
+func (s *Scoring) Score(a, b byte) int32 { return int32(s.Sub[a-'A'][b-'A']) }
+
+// blosum62 rows/cols in the order published by NCBI.
+const blosumOrder = "ARNDCQEGHILKMFPSTWYVBZX"
+
+var blosum62 = [23][23]int16{
+	{4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0, -2, -1, 0},
+	{-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3, -1, 0, -1},
+	{-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3, 3, 0, -1},
+	{-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3, 4, 1, -1},
+	{0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2},
+	{-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2, 0, 3, -1},
+	{-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2, 1, 4, -1},
+	{0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3, -1, -2, -1},
+	{-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3, 0, 0, -1},
+	{-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3, -3, -3, -1},
+	{-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1, -4, -3, -1},
+	{-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2, 0, 1, -1},
+	{-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1, -3, -1, -1},
+	{-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1, -3, -3, -1},
+	{-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2, -2, -1, -2},
+	{1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2, 0, 0, 0},
+	{0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0, -1, -1, 0},
+	{-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3, -4, -3, -2},
+	{-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1, -3, -2, -1},
+	{0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4, -3, -2, -1},
+	{-2, -1, 3, 4, -3, 0, 1, -1, 0, -3, -4, 0, -3, -3, -2, 0, -1, -4, -3, -3, 4, 1, -1},
+	{-1, 0, 0, 1, -3, 3, 4, -2, 0, -3, -3, 1, -1, -3, -1, 0, -1, -3, -2, -2, 1, 4, -1},
+	{0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2, 0, 0, -2, -1, -1, -1, -1, -1},
+}
+
+// Blosum62 returns the standard BLOSUM62 substitution matrix with the
+// given affine gap penalties. The rare residues U and O score like C and K
+// respectively; any other letter scores like X.
+func Blosum62(gapOpen, gapExtend int32) *Scoring {
+	s := &Scoring{Name: "BLOSUM62", GapOpen: gapOpen, GapExtend: gapExtend}
+	xi := indexOf('X')
+	// Default every cell to the X row/col so unexpected letters degrade
+	// gracefully instead of scoring 0.
+	for i := 0; i < 26; i++ {
+		for j := 0; j < 26; j++ {
+			s.Sub[i][j] = blosum62[xi][xi]
+		}
+	}
+	letterIdx := func(c byte) int {
+		switch c {
+		case 'U':
+			return indexOf('C')
+		case 'O':
+			return indexOf('K')
+		case 'J': // not a residue, treat as X
+			return xi
+		default:
+			return indexOf(c)
+		}
+	}
+	for a := byte('A'); a <= 'Z'; a++ {
+		for b := byte('A'); b <= 'Z'; b++ {
+			s.Sub[a-'A'][b-'A'] = blosum62[letterIdx(a)][letterIdx(b)]
+		}
+	}
+	return s
+}
+
+func indexOf(c byte) int {
+	for i := 0; i < len(blosumOrder); i++ {
+		if blosumOrder[i] == c {
+			return i
+		}
+	}
+	return len(blosumOrder) - 1 // X
+}
+
+// Identity returns a simple match/mismatch scoring scheme, useful for
+// tests and for the strict identity cutoffs of redundancy removal.
+func Identity(match, mismatch int16, gapOpen, gapExtend int32) *Scoring {
+	s := &Scoring{Name: fmt.Sprintf("identity(%d/%d)", match, mismatch), GapOpen: gapOpen, GapExtend: gapExtend}
+	for i := 0; i < 26; i++ {
+		for j := 0; j < 26; j++ {
+			if i == j {
+				s.Sub[i][j] = match
+			} else {
+				s.Sub[i][j] = mismatch
+			}
+		}
+	}
+	return s
+}
+
+// DefaultScoring is the scheme the pipeline uses when the caller does not
+// override it: BLOSUM62 with gap open 11, extend 1 (the BLASTP default).
+func DefaultScoring() *Scoring { return Blosum62(11, 1) }

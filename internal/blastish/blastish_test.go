@@ -1,0 +1,229 @@
+package blastish
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"profam/internal/align"
+	"profam/internal/seq"
+	"profam/internal/workload"
+)
+
+func TestWordCode(t *testing.T) {
+	a, ok := wordCode([]byte("ACD"))
+	if !ok {
+		t.Fatal("valid word rejected")
+	}
+	b, _ := wordCode([]byte("ACE"))
+	if a == b {
+		t.Error("distinct words collide")
+	}
+	if _, ok := wordCode([]byte("A D")); ok {
+		t.Error("invalid residue accepted")
+	}
+	// Order matters.
+	c, _ := wordCode([]byte("DCA"))
+	if a == c {
+		t.Error("reversed word collides")
+	}
+}
+
+// bruteUngappedBest computes the best ungapped segment score containing
+// the seed by exhaustive scan (no X-drop cut), an upper bound on the
+// X-drop result; with a huge xdrop the two must agree.
+func bruteUngappedBest(sc *align.Scoring, q, d []byte, qOff, dOff, w int) int32 {
+	var seed int32
+	for k := 0; k < w; k++ {
+		seed += sc.Score(q[qOff+k], d[dOff+k])
+	}
+	bestR := int32(0)
+	run := int32(0)
+	for qi, di := qOff+w, dOff+w; qi < len(q) && di < len(d); qi, di = qi+1, di+1 {
+		run += sc.Score(q[qi], d[di])
+		if run > bestR {
+			bestR = run
+		}
+	}
+	bestL := int32(0)
+	run = 0
+	for qi, di := qOff-1, dOff-1; qi >= 0 && di >= 0; qi, di = qi-1, di-1 {
+		run += sc.Score(q[qi], d[di])
+		if run > bestL {
+			bestL = run
+		}
+	}
+	return seed + bestR + bestL
+}
+
+func TestUngappedXDropMatchesBruteWithLargeXDrop(t *testing.T) {
+	sc := align.DefaultScoring()
+	f := func(s int64) bool {
+		rng := rand.New(rand.NewSource(s))
+		q := randProt(rng, 10+rng.Intn(60))
+		d := randProt(rng, 10+rng.Intn(60))
+		w := 3
+		qOff := rng.Intn(len(q) - w)
+		dOff := rng.Intn(len(d) - w)
+		got := ungappedXDrop(sc, q, d, qOff, dOff, w, 1<<28)
+		want := bruteUngappedBest(sc, q, d, qOff, dOff, w)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUngappedXDropNeverExceedsBrute(t *testing.T) {
+	sc := align.DefaultScoring()
+	f := func(s int64) bool {
+		rng := rand.New(rand.NewSource(s))
+		q := randProt(rng, 10+rng.Intn(60))
+		d := randProt(rng, 10+rng.Intn(60))
+		qOff := rng.Intn(len(q) - 3)
+		dOff := rng.Intn(len(d) - 3)
+		return ungappedXDrop(sc, q, d, qOff, dOff, 3, 5) <= bruteUngappedBest(sc, q, d, qOff, dOff, 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randProt(rng *rand.Rand, n int) []byte {
+	const res = "ACDEFGHIKLMNPQRSTVWY"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = res[rng.Intn(len(res))]
+	}
+	return b
+}
+
+func TestSearchFindsHomologsSkipsUnrelated(t *testing.T) {
+	set, truth := workload.Generate(workload.Params{
+		Families: 3, MeanFamilySize: 8, MeanLength: 120,
+		Divergence: 0.10, ContainedFrac: 0.01, Singletons: 6, Seed: 12,
+	})
+	ix, err := NewIndex(set, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	foundSame, missedSame, falseCross := 0, 0, 0
+	for id := 0; id < set.Len(); id++ {
+		hits := ix.Search(set.Get(id).Res, int32(id), 60, &st)
+		got := map[int32]bool{}
+		for _, h := range hits {
+			got[h.Seq] = true
+			if truth.Label[h.Seq] != truth.Label[id] {
+				falseCross++
+			}
+		}
+		for other := 0; other < set.Len(); other++ {
+			if other == id || truth.Label[other] != truth.Label[id] || truth.Redundant[other] || truth.Redundant[id] {
+				continue
+			}
+			if got[int32(other)] {
+				foundSame++
+			} else {
+				missedSame++
+			}
+		}
+	}
+	if foundSame == 0 {
+		t.Fatal("no same-family hits at all")
+	}
+	if missedSame > foundSame/5 {
+		t.Errorf("missed %d same-family pairs vs %d found", missedSame, foundSame)
+	}
+	if falseCross > foundSame/10 {
+		t.Errorf("%d cross-family hits vs %d true hits", falseCross, foundSame)
+	}
+	if st.WordHits == 0 || st.Extensions == 0 || st.Banded == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+	// The cascade must prune: banded alignments << two-hit diagonals is
+	// not guaranteed, but banded << all-pairs must hold.
+	allPairs := int64(set.Len()) * int64(set.Len()-1)
+	if st.Banded >= allPairs/2 {
+		t.Errorf("cascade did not prune: %d banded alignments for %d ordered pairs", st.Banded, allPairs)
+	}
+}
+
+func TestSearchSelfExclusion(t *testing.T) {
+	set := seq.NewSet()
+	set.MustAdd("a", "MKWVTFISLLFLFSSAYSRGVFRRDTHKSEIAHRFKDLGE")
+	set.MustAdd("b", "MKWVTFISLLFLFSSAYSRGVFRRDTHKSEIAHRFKDLGE")
+	ix, err := NewIndex(set, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Search(set.Get(0).Res, 0, 50, nil)
+	if len(hits) != 1 || hits[0].Seq != 1 {
+		t.Fatalf("expected only the twin sequence, got %v", hits)
+	}
+	withSelf := ix.Search(set.Get(0).Res, -1, 50, nil)
+	if len(withSelf) != 2 {
+		t.Fatalf("selfID=-1 should keep self match, got %v", withSelf)
+	}
+}
+
+func TestSearchOrdering(t *testing.T) {
+	set := seq.NewSet()
+	base := "MKWVTFISLLFLFSSAYSRGVFRRDTHKSEIAHRFKDLGEEHFKGLVLIA"
+	set.MustAdd("query-like", base)
+	set.MustAdd("close", base[:46]+"AAAA")
+	set.MustAdd("far", "G"+base[1:20]+"PPPPPPPPPPPPPPPPPPPPPPPPPPPPPP")
+	ix, err := NewIndex(set, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.Search([]byte(base), 0, 1, nil)
+	if len(hits) < 2 {
+		t.Fatalf("expected 2 hits, got %v", hits)
+	}
+	if hits[0].Seq != 1 {
+		t.Errorf("closest sequence not ranked first: %v", hits)
+	}
+	if hits[0].Banded < hits[1].Banded {
+		t.Errorf("hits not sorted by banded score: %v", hits)
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	set := seq.NewSet()
+	set.MustAdd("a", "ACDEFG")
+	if _, err := NewIndex(set, Params{W: 9}); err == nil {
+		t.Error("oversized word length accepted")
+	}
+	if _, err := NewIndex(set, Params{W: 1}); err == nil {
+		t.Error("undersized word length accepted")
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 5, MeanFamilySize: 20, MeanLength: 140,
+		Divergence: 0.10, Singletons: 10, Seed: 5,
+	})
+	ix, err := NewIndex(set, Params{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := set.Get(0).Res
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 0, 60, nil)
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 5, MeanFamilySize: 20, MeanLength: 140, Seed: 5,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewIndex(set, Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package esa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"profam/internal/seq"
+	"profam/internal/suffixtree"
+)
+
+const residues = "ACDEFG"
+
+func randomSet(rng *rand.Rand, nseq, maxLen int) *seq.Set {
+	set := seq.NewSet()
+	for i := 0; i < nseq; i++ {
+		n := 1 + rng.Intn(maxLen)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = residues[rng.Intn(len(residues))]
+		}
+		set.MustAdd(fmt.Sprintf("s%d", i), string(b))
+	}
+	return set
+}
+
+func pairSet(trees []*suffixtree.SubTree) map[suffixtree.Pair]bool {
+	out := map[suffixtree.Pair]bool{}
+	suffixtree.MergedPairs(trees, func(p suffixtree.Pair) bool {
+		out[p] = true
+		return true
+	})
+	return out
+}
+
+// TestMatchesSuffixTree: the ESA must emit exactly the same maximal-match
+// pair set as the suffix tree on the same input.
+func TestMatchesSuffixTree(t *testing.T) {
+	set := seq.NewSet()
+	set.MustAdd("a", "ACDEFGACDEFGAC")
+	set.MustAdd("b", "CDEFGACD")
+	set.MustAdd("c", "ACDEFG")
+	set.MustAdd("d", "ACDEFG") // identical pair exercises end-at-depth handling
+	for _, psi := range []int{2, 3, 4, 6} {
+		opt := suffixtree.Options{MinMatch: psi}
+		want, err := suffixtree.Build(set, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Build(set, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, g := pairSet(want), pairSet(got)
+		if len(w) != len(g) {
+			t.Errorf("psi=%d: esa %d pairs, tree %d", psi, len(g), len(w))
+		}
+		for p := range w {
+			if !g[p] {
+				t.Errorf("psi=%d: esa missing %+v", psi, p)
+			}
+		}
+		for p := range g {
+			if !w[p] {
+				t.Errorf("psi=%d: esa extra %+v", psi, p)
+			}
+		}
+	}
+}
+
+// Property: pair-set equality on random inputs across psi and prefix
+// settings.
+func TestMatchesSuffixTreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := randomSet(rng, 2+rng.Intn(6), 50)
+		psi := 2 + rng.Intn(4)
+		opt := suffixtree.Options{MinMatch: psi, PrefixLen: 1 + rng.Intn(2)}
+		if opt.PrefixLen > psi {
+			opt.PrefixLen = psi
+		}
+		want, err := suffixtree.Build(set, opt)
+		if err != nil {
+			return false
+		}
+		got, err := Build(set, opt)
+		if err != nil {
+			return false
+		}
+		w, g := pairSet(want), pairSet(got)
+		if len(w) != len(g) {
+			t.Logf("seed %d: esa %d pairs vs tree %d", seed, len(g), len(w))
+			return false
+		}
+		for p := range w {
+			if !g[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecreasingOrder: per-bucket enumeration must be non-increasing in
+// match length (so the pace phases can use either index).
+func TestDecreasingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	set := randomSet(rng, 6, 60)
+	trees, err := Build(set, suffixtree.Options{MinMatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trees {
+		last := int32(1 << 30)
+		tr.ForEachPair(func(p suffixtree.Pair) bool {
+			if p.Len > last {
+				t.Fatal("pair lengths increased within bucket")
+			}
+			last = p.Len
+			return true
+		})
+	}
+}
+
+func TestLowComplexityRuns(t *testing.T) {
+	set := seq.NewSet()
+	set.MustAdd("a", "AAAAAAAA")
+	set.MustAdd("b", "AAAA")
+	opt := suffixtree.Options{MinMatch: 2}
+	want, _ := suffixtree.Build(set, opt)
+	got, err := Build(set, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, g := pairSet(want), pairSet(got)
+	if fmt.Sprint(len(w)) != fmt.Sprint(len(g)) {
+		t.Fatalf("runs: esa %d pairs vs tree %d", len(g), len(w))
+	}
+	for p := range w {
+		if !g[p] {
+			t.Fatalf("missing %+v", p)
+		}
+	}
+}
+
+func TestEmptyBucketAndValidation(t *testing.T) {
+	set := seq.NewSet()
+	set.MustAdd("a", "ACDEFG")
+	tr, err := BuildBucket(set, suffixtree.Bucket{}, suffixtree.Options{MinMatch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Leaves) != 0 || len(tr.Nodes) != 0 {
+		t.Error("empty bucket produced content")
+	}
+	if _, err := BuildBucket(set, suffixtree.Bucket{}, suffixtree.Options{}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func BenchmarkBuildESA(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	set := randomSet(rng, 200, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(set, suffixtree.Options{MinMatch: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTreeReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	set := randomSet(rng, 200, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suffixtree.Build(set, suffixtree.Options{MinMatch: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"profam/internal/mpi"
+	"profam/internal/pace"
+)
+
+// CommRow records the communication volume of one (n, p) RR+CCD run.
+type CommRow struct {
+	N, P        int
+	MasterMsgs  int64
+	MasterBytes int64
+	TotalMsgs   int64
+	TotalBytes  int64
+}
+
+// Comm measures message counts and bytes as a function of processor
+// count — the master–worker pattern concentrates traffic at rank 0, and
+// this experiment quantifies that (the scalability ceiling Figure 7a's
+// discussion points at).
+func Comm(scale float64) ([]CommRow, error) {
+	set, _ := SetOfSize(int(400*scale), 55)
+	var rows []CommRow
+	for _, p := range []int{4, 16, 64, 256} {
+		row := CommRow{N: set.Len(), P: p}
+		var masterSent, masterRecv, masterBytes int64
+		totals := make([]mpi.CommStats, p)
+		_, err := mpi.RunSim(p, mpi.BlueGeneLike(), func(c *mpi.Comm) {
+			keep, _, err := pace.RedundancyRemoval(c, set, pace.Config{Psi: 7})
+			if err != nil {
+				panic(err)
+			}
+			if _, _, err := pace.ConnectedComponents(c, set, keep, pace.Config{Psi: 7}); err != nil {
+				panic(err)
+			}
+			st := c.Stats()
+			totals[c.Rank()] = st
+			if c.Rank() == 0 {
+				masterSent, masterRecv, masterBytes = st.MsgsSent, st.MsgsRecv, st.BytesSent
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.MasterMsgs = masterSent + masterRecv
+		row.MasterBytes = masterBytes
+		for _, st := range totals {
+			row.TotalMsgs += st.MsgsSent
+			row.TotalBytes += st.BytesSent
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintComm renders the volume table.
+func PrintComm(w io.Writer, rows []CommRow) {
+	fmt.Fprintln(w, "Communication volume, RR+CCD (master–worker traffic concentrates at rank 0)")
+	fmt.Fprintf(w, "%6s %6s %12s %14s %12s %14s %9s\n",
+		"n", "p", "masterMsgs", "masterBytes", "totalMsgs", "totalBytes", "master%")
+	for _, r := range rows {
+		pct := 0.0
+		if r.TotalBytes > 0 {
+			pct = 100 * float64(r.MasterBytes) / float64(r.TotalBytes)
+		}
+		fmt.Fprintf(w, "%6d %6d %12d %14d %12d %14d %8.1f%%\n",
+			r.N, r.P, r.MasterMsgs, r.MasterBytes, r.TotalMsgs, r.TotalBytes, pct)
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment harness runs at tiny scale here: these tests assert the
+// plumbing and the qualitative shape, not the headline numbers (those
+// are cmd/benchtab territory).
+
+func TestDatasetsShape(t *testing.T) {
+	set, truth := Set160K(0.15)
+	if set.Len() < 100 {
+		t.Errorf("160K-like too small: %d", set.Len())
+	}
+	if truth.NumFamilies < 2 {
+		t.Errorf("160K-like has %d families", truth.NumFamilies)
+	}
+	set22, truth22 := Set22K(0.15)
+	if truth22.NumFamilies != 1 {
+		t.Errorf("22K-like should be a single family, got %d", truth22.NumFamilies)
+	}
+	if set22.Len() < 30 {
+		t.Errorf("22K-like too small: %d", set22.Len())
+	}
+	sized, _ := SetOfSize(120, 3)
+	if n := sized.Len(); n < 90 || n > 160 {
+		t.Errorf("SetOfSize(120) produced %d sequences", n)
+	}
+}
+
+func TestTable1Tiny(t *testing.T) {
+	rows, err := Table1(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NonRedund >= r.Input {
+			t.Errorf("%s: redundancy removal removed nothing", r.Name)
+		}
+		if r.Components == 0 {
+			t.Errorf("%s: no components", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "160K-like") {
+		t.Error("table print missing dataset name")
+	}
+}
+
+func TestWorkReductionTiny(t *testing.T) {
+	r, err := WorkReduction(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PairsGenerated == 0 || r.PairsAligned == 0 {
+		t.Fatalf("no work recorded: %+v", r)
+	}
+	if r.VsAllPairs < 0.5 {
+		t.Errorf("reduction vs all-pairs only %.2f", r.VsAllPairs)
+	}
+	var buf bytes.Buffer
+	PrintWorkRed(&buf, r)
+	if !strings.Contains(buf.String(), "all-pairs") {
+		t.Error("workred print malformed")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Run-time must not grow with processors (allowing small jitter).
+	if rows[len(rows)-1].RR > rows[0].RR*1.2 {
+		t.Errorf("RR slower at 512 ranks: %v vs %v", rows[len(rows)-1].RR, rows[0].RR)
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "512") {
+		t.Error("table2 print missing p=512 row")
+	}
+}
+
+func TestFig5Tiny(t *testing.T) {
+	bounds, counts, err := Fig5(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) == 0 || len(bounds) != len(counts) {
+		t.Fatalf("histogram malformed: %v %v", bounds, counts)
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, bounds, counts)
+	if !strings.Contains(buf.String(), "#") {
+		t.Error("fig5 print missing bars")
+	}
+}
+
+func TestFig7bTiny(t *testing.T) {
+	cells, err := Fig7b(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 16 {
+		t.Fatalf("got %d cells, want 16", len(cells))
+	}
+	// Serial DSD time must grow with c at fixed n (monotone within each
+	// n, allowing tiny jitter on the smallest sizes).
+	grow := 0
+	for i := 0; i < len(cells); i += 4 {
+		if cells[i+3].Seconds > cells[i].Seconds {
+			grow++
+		}
+	}
+	if grow < 3 {
+		t.Errorf("DSD time does not grow with c in %d/4 size groups", grow)
+	}
+	var buf bytes.Buffer
+	PrintFig7b(&buf, cells)
+	if !strings.Contains(buf.String(), "400") {
+		t.Error("fig7b print missing c=400 column")
+	}
+}
+
+func TestPrintMatrixHelpers(t *testing.T) {
+	cells := []RRCCDTimes{
+		{N: 100, P: 32, RR: 4, CCD: 1},
+		{N: 100, P: 64, RR: 2, CCD: 1},
+		{N: 200, P: 32, RR: 8, CCD: 2},
+		{N: 200, P: 64, RR: 4, CCD: 2},
+	}
+	var buf bytes.Buffer
+	PrintFig6a(&buf, cells)
+	PrintFig6b(&buf, cells)
+	PrintFig7a(&buf, cells)
+	out := buf.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "5.0") {
+		t.Errorf("matrix prints malformed:\n%s", out)
+	}
+	if lookup(cells, 100, 64) != 3 {
+		t.Error("lookup broken")
+	}
+	if len(uniqueNs(cells)) != 2 || len(uniquePs(cells)) != 2 {
+		t.Error("unique extraction broken")
+	}
+}

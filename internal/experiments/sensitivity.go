@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"profam"
+	"profam/internal/quality"
+)
+
+// This file implements the parameter-sensitivity study the paper lists
+// under future work ("the effect of similarity cutoffs and other
+// parameters on the quality of the protein family prediction is to be
+// studied"): one-at-a-time sweeps of the overlap-similarity cutoff, the
+// maximal-match filter length ψ, and the τ post-test, each evaluated
+// against the planted ground truth.
+
+// SensitivityRow is one parameter setting's outcome.
+type SensitivityRow struct {
+	Param        string
+	Value        float64
+	Families     int
+	SeqInDS      int
+	Precision    float64
+	Sensitivity  float64
+	PairsAligned int64
+}
+
+// Sensitivity sweeps the three key parameters on a 160K-like (scaled)
+// data set.
+func Sensitivity(scale float64) ([]SensitivityRow, error) {
+	set, truth := Set160K(scale * 0.5) // half-size: 12 settings get run
+	base := PipelineConfig()
+
+	var rows []SensitivityRow
+	eval := func(param string, value float64, cfg profam.Config) error {
+		res, _, err := profam.RunSet(set, 1, false, cfg)
+		if err != nil {
+			return err
+		}
+		conf, err := quality.Compare(res.FamilyLabels(), truth.Label)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, SensitivityRow{
+			Param:        param,
+			Value:        value,
+			Families:     len(res.Families),
+			SeqInDS:      res.SeqsInFamilies(),
+			Precision:    conf.Precision(),
+			Sensitivity:  conf.Sensitivity(),
+			PairsAligned: res.RR.PairsAligned + res.CCD.PairsAligned,
+		})
+		return nil
+	}
+
+	for _, sim := range []float64{0.20, 0.30, 0.40, 0.50} {
+		cfg := base
+		cfg.OverlapSimilarity = sim
+		cfg.EdgeSimilarity = base.EdgeSimilarity // keep the family edge rule fixed
+		if err := eval("overlapSim", sim, cfg); err != nil {
+			return nil, err
+		}
+	}
+	for _, edge := range []float64{0.60, 0.70, 0.78, 0.85} {
+		cfg := base
+		cfg.EdgeSimilarity = edge
+		if err := eval("edgeSim", edge, cfg); err != nil {
+			return nil, err
+		}
+	}
+	for _, psi := range []int{6, 8, 10, 12} {
+		cfg := base
+		cfg.Psi = psi
+		if err := eval("psi", float64(psi), cfg); err != nil {
+			return nil, err
+		}
+	}
+	for _, tau := range []float64{0.30, 0.50, 0.70, 0.90} {
+		cfg := base
+		cfg.Tau = tau
+		if err := eval("tau", tau, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// PrintSensitivity renders the sweep.
+func PrintSensitivity(w io.Writer, rows []SensitivityRow) {
+	fmt.Fprintln(w, "Parameter sensitivity (paper future work §VI): quality vs cutoffs, planted-truth benchmark")
+	fmt.Fprintf(w, "%-12s %8s %6s %8s %8s %8s %10s\n",
+		"param", "value", "#DS", "#seqDS", "PR%", "SE%", "aligned")
+	last := ""
+	for _, r := range rows {
+		if r.Param != last {
+			last = r.Param
+			fmt.Fprintln(w, "---")
+		}
+		fmt.Fprintf(w, "%-12s %8.2f %6d %8d %8.2f %8.2f %10d\n",
+			r.Param, r.Value, r.Families, r.SeqInDS,
+			100*r.Precision, 100*r.Sensitivity, r.PairsAligned)
+	}
+}

@@ -1,0 +1,115 @@
+package gos
+
+import (
+	"testing"
+
+	"profam/internal/quality"
+	"profam/internal/seq"
+	"profam/internal/workload"
+)
+
+func TestBaselineRecoversPlantedFamilies(t *testing.T) {
+	set, truth := workload.Generate(workload.Params{
+		Families: 4, MeanFamilySize: 8, MeanLength: 100,
+		Divergence: 0.05, IndelRate: 0.002, ContainedFrac: 0.2,
+		Singletons: 3, Seed: 21,
+	})
+	res := Run(set, Config{})
+	if res.Alignments == 0 || res.Cells == 0 {
+		t.Fatal("no work recorded")
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters found")
+	}
+	labels := quality.LabelsFromClusters(res.Clusters, set.Len())
+	c, err := quality.Compare(labels, truth.Label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Precision() < 0.8 {
+		t.Errorf("baseline precision %.2f too low: %s", c.Precision(), c)
+	}
+	if c.Sensitivity() < 0.4 {
+		t.Errorf("baseline sensitivity %.2f too low: %s", c.Sensitivity(), c)
+	}
+}
+
+func TestBaselineRemovesFragments(t *testing.T) {
+	set, truth := workload.Generate(workload.Params{
+		Families: 3, MeanFamilySize: 6, ContainedFrac: 0.4, Seed: 33,
+	})
+	res := Run(set, Config{})
+	planted, removed := 0, 0
+	for id, red := range truth.Redundant {
+		if red {
+			planted++
+			if !res.Keep[id] {
+				removed++
+			}
+		}
+	}
+	if planted == 0 {
+		t.Fatal("no fragments planted")
+	}
+	if removed < planted*7/10 {
+		t.Errorf("baseline removed %d/%d fragments", removed, planted)
+	}
+}
+
+func TestQuadraticCost(t *testing.T) {
+	// The baseline must do ~n^2/2 alignments; that is its defining cost.
+	gen := func(n int) *seq.Set {
+		set, _ := workload.Generate(workload.Params{
+			Families: 2, MeanFamilySize: n / 2, MeanLength: 60,
+			Singletons: 1, ContainedFrac: 0.01, Seed: 2,
+		})
+		return set
+	}
+	set := gen(20)
+	res := Run(set, Config{})
+	n := int64(set.Len())
+	min := n * (n - 1) / 2 // step 2 alone visits all surviving pairs
+	if res.Alignments < min/2 {
+		t.Errorf("alignments %d suspiciously low for n=%d", res.Alignments, n)
+	}
+}
+
+func TestClustersDisjointAndSorted(t *testing.T) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 4, MeanFamilySize: 7, Divergence: 0.05, Seed: 12,
+	})
+	res := Run(set, Config{})
+	seen := map[int]bool{}
+	lastSize := 1 << 30
+	for _, cl := range res.Clusters {
+		if len(cl) > lastSize {
+			t.Error("clusters not sorted by size desc")
+		}
+		lastSize = len(cl)
+		for _, id := range cl {
+			if seen[id] {
+				t.Fatalf("sequence %d in two clusters", id)
+			}
+			seen[id] = true
+			if !res.Keep[id] {
+				t.Errorf("redundant sequence %d clustered", id)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	set := seq.NewSet()
+	res := Run(set, Config{})
+	if len(res.Clusters) != 0 {
+		t.Error("empty set produced clusters")
+	}
+	set.MustAdd("only", "MKWVTFISLLFLFSSAYS")
+	res = Run(set, Config{})
+	if len(res.Clusters) != 0 {
+		t.Error("single sequence produced clusters")
+	}
+	if !res.Keep[0] {
+		t.Error("single sequence removed")
+	}
+}

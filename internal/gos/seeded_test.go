@@ -1,0 +1,88 @@
+package gos
+
+import (
+	"testing"
+
+	"profam/internal/quality"
+	"profam/internal/workload"
+)
+
+func TestSeededMatchesExhaustiveQuality(t *testing.T) {
+	set, truth := workload.Generate(workload.Params{
+		Families: 4, MeanFamilySize: 10, MeanLength: 110,
+		Divergence: 0.06, ContainedFrac: 0.15, Singletons: 5, Seed: 41,
+	})
+	exh := Run(set, Config{})
+	sdd := Run(set, Config{Seeded: true})
+
+	if sdd.Alignments >= exh.Alignments {
+		t.Errorf("seeded mode did not reduce alignments: %d vs %d", sdd.Alignments, exh.Alignments)
+	}
+
+	qe, err := quality.Compare(quality.LabelsFromClusters(exh.Clusters, set.Len()), truth.Label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := quality.Compare(quality.LabelsFromClusters(sdd.Clusters, set.Len()), truth.Label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Sensitivity() < qe.Sensitivity()-0.1 {
+		t.Errorf("seeded sensitivity dropped: %.2f vs %.2f", qs.Sensitivity(), qe.Sensitivity())
+	}
+	if qs.Precision() < qe.Precision()-0.05 {
+		t.Errorf("seeded precision dropped: %.2f vs %.2f", qs.Precision(), qe.Precision())
+	}
+	t.Logf("exhaustive: %d alignments, %s", exh.Alignments, qe)
+	t.Logf("seeded:     %d alignments, %s", sdd.Alignments, qs)
+}
+
+func TestSeededRemovesFragmentsToo(t *testing.T) {
+	set, truth := workload.Generate(workload.Params{
+		Families: 3, MeanFamilySize: 6, ContainedFrac: 0.4, Seed: 33,
+	})
+	res := Run(set, Config{Seeded: true})
+	planted, removed := 0, 0
+	for id, red := range truth.Redundant {
+		if red {
+			planted++
+			if !res.Keep[id] {
+				removed++
+			}
+		}
+	}
+	if planted == 0 {
+		t.Fatal("no fragments planted")
+	}
+	if removed < planted*6/10 {
+		t.Errorf("seeded baseline removed %d/%d fragments", removed, planted)
+	}
+}
+
+func TestSeededBadParamsFallBack(t *testing.T) {
+	set, _ := workload.Generate(workload.Params{Families: 2, MeanFamilySize: 4, Seed: 9})
+	cfg := Config{Seeded: true}
+	cfg.Seed.W = 9 // invalid: falls back to exhaustive rather than failing
+	res := Run(set, cfg)
+	n := int64(set.Len())
+	if res.Alignments < n*(n-1)/2 {
+		t.Errorf("fallback to exhaustive did not happen: %d alignments", res.Alignments)
+	}
+}
+
+func BenchmarkBaselineModes(b *testing.B) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 4, MeanFamilySize: 15, MeanLength: 120,
+		Divergence: 0.08, Singletons: 10, Seed: 3,
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(set, Config{})
+		}
+	})
+	b.Run("seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Run(set, Config{Seeded: true})
+		}
+	})
+}

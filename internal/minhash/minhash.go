@@ -1,0 +1,122 @@
+// Package minhash implements the min-wise independent permutation
+// machinery (Broder et al., JCSS 2000) that the Shingle algorithm uses to
+// sample (s, c)-shingle sets from adjacency lists.
+//
+// A permutation is approximated by a member of the 2-universal hash family
+// h(x) = (a·x + b) mod p over the Mersenne prime p = 2^61 − 1: for each of
+// the c permutations, an element set is "permuted" by hashing every element
+// and taking the s smallest hash values. Two vertices whose out-link sets
+// overlap substantially then share a shingle with high probability.
+package minhash
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+)
+
+// MersennePrime61 is the modulus of the hash family.
+const MersennePrime61 = (1 << 61) - 1
+
+// Perm is one pseudo-random permutation h(x) = (a·x + b) mod p.
+type Perm struct {
+	A, B uint64
+}
+
+// Apply evaluates the permutation at x. Multiplication is carried out in
+// 128 bits (bits.Mul64) so the result is exact mod 2^61−1.
+func (pm Perm) Apply(x uint64) uint64 {
+	return addMod(mulMod(pm.A, mod61(x)), pm.B%MersennePrime61)
+}
+
+// mulMod returns (a*b) mod 2^61-1 for a, b < 2^61.
+func mulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// 2^64 ≡ 8 (mod 2^61−1), and hi < 2^58 so hi*8 fits in 61 bits.
+	return addMod(mod61(hi<<3), mod61(lo))
+}
+
+func mod61(x uint64) uint64 {
+	x = (x >> 61) + (x & MersennePrime61)
+	if x >= MersennePrime61 {
+		x -= MersennePrime61
+	}
+	return x
+}
+
+func addMod(a, b uint64) uint64 {
+	s := a + b
+	if s >= MersennePrime61 {
+		s -= MersennePrime61
+	}
+	return s
+}
+
+// Family is a set of c independent permutations drawn from a seeded PRNG,
+// so that every rank in a distributed run generates the identical family.
+type Family struct {
+	Perms []Perm
+}
+
+// NewFamily returns c permutations seeded deterministically.
+func NewFamily(c int, seed int64) *Family {
+	rng := rand.New(rand.NewSource(seed))
+	f := &Family{Perms: make([]Perm, c)}
+	for i := range f.Perms {
+		// a must be nonzero for the map to be a bijection-like spread.
+		a := uint64(rng.Int63n(MersennePrime61-1)) + 1
+		b := uint64(rng.Int63n(MersennePrime61))
+		f.Perms[i] = Perm{A: a, B: b}
+	}
+	return f
+}
+
+// Shingle computes the s minimum elements of the permutation's image of
+// elems, returning them sorted ascending. If len(elems) < s the whole
+// image is returned (sorted). The scratch slice is reused if large enough.
+func (pm Perm) Shingle(elems []uint64, s int, scratch []uint64) []uint64 {
+	if len(elems) == 0 {
+		return scratch[:0]
+	}
+	if s > len(elems) {
+		s = len(elems)
+	}
+	scratch = scratch[:0]
+	// Keep a bounded max-heap-free approach: s is tiny (≈5), so a simple
+	// insertion into a sorted s-slot buffer is fastest.
+	for _, e := range elems {
+		h := pm.Apply(e)
+		if len(scratch) < s {
+			scratch = append(scratch, h)
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			continue
+		}
+		if h >= scratch[s-1] {
+			continue
+		}
+		// Insert h keeping scratch sorted.
+		pos := sort.Search(s, func(i int) bool { return scratch[i] > h })
+		copy(scratch[pos+1:], scratch[pos:s-1])
+		scratch[pos] = h
+	}
+	return scratch
+}
+
+// HashTuple collapses a sorted shingle tuple into a single 64-bit value
+// (FNV-1a over the byte representation), which is how shingles are stored
+// and compared downstream.
+func HashTuple(tuple []uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range tuple {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}

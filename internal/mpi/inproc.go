@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// inprocJob is the shared state of an in-process job: one mailbox per
+// rank, each guarded by its own lock/condition.
+type inprocJob struct {
+	n     int
+	start time.Time
+	boxes []*mailbox
+}
+
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []Message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// match returns the index of the first message matching from/tag, or -1.
+func matchIdx(msgs []Message, from, tag int) int {
+	for i, m := range msgs {
+		if (from == Any || m.From == from) && (tag == Any || m.Tag == tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *mailbox) put(m Message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *mailbox) take(from, tag int) Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for _, m := range b.msgs {
+			if m.Tag == abortTag {
+				// A peer rank panicked; propagate so this rank unwinds
+				// too instead of blocking forever.
+				panic(fmt.Sprintf("mpi: job aborted by rank %d: %v", m.From, m.Data))
+			}
+		}
+		if i := matchIdx(b.msgs, from, tag); i >= 0 {
+			m := b.msgs[i]
+			b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+			return m
+		}
+		b.cond.Wait()
+	}
+}
+
+type inprocTransport struct {
+	job *inprocJob
+	r   int
+}
+
+func (t *inprocTransport) rank() int { return t.r }
+func (t *inprocTransport) size() int { return t.job.n }
+func (t *inprocTransport) send(to, tag int, data any) {
+	t.job.boxes[to].put(Message{From: t.r, Tag: tag, Data: data})
+}
+func (t *inprocTransport) recv(from, tag int) Message {
+	return t.job.boxes[t.r].take(from, tag)
+}
+func (t *inprocTransport) advance(float64) {}
+func (t *inprocTransport) time() float64 {
+	return time.Since(t.job.start).Seconds()
+}
+
+// Run executes f on p ranks as goroutines connected by in-memory
+// mailboxes, blocking until all ranks return. A panic in any rank is
+// recovered and reported as an error (other ranks may then block forever
+// waiting for messages, so Run aborts the job by returning the first
+// error once all surviving ranks finish or the job is poisoned; in
+// practice rank code should not panic).
+func Run(p int, f func(c *Comm)) error {
+	if p < 1 {
+		return fmt.Errorf("mpi: need at least 1 rank, got %d", p)
+	}
+	job := &inprocJob{n: p, start: time.Now(), boxes: make([]*mailbox, p)}
+	for i := range job.boxes {
+		job.boxes[i] = newMailbox()
+	}
+	errs := make(chan error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					errs <- fmt.Errorf("mpi: rank %d panicked: %v", r, e)
+					// Poison every mailbox so blocked ranks wake with a
+					// recognizable failure instead of deadlocking.
+					for _, b := range job.boxes {
+						b.put(Message{From: r, Tag: abortTag, Data: e})
+					}
+				}
+			}()
+			f(&Comm{tr: &inprocTransport{job: job, r: r}})
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs // nil if empty
+}
+
+// abortTag poisons mailboxes after a rank panic. It lives in the
+// collective band but below any tag a realistic job would reach.
+const abortTag = -1 << 30

@@ -1,0 +1,290 @@
+// Package mpi is a small message-passing runtime with an MPI-like API,
+// standing in for the MPI + BlueGene/L substrate of the paper.
+//
+// Algorithms are written once against *Comm and run unchanged on three
+// transports:
+//
+//   - inproc: ranks are goroutines exchanging messages through in-memory
+//     mailboxes. Real concurrent execution, wall-clock Time.
+//   - simtime: a deterministic discrete-event simulation of a
+//     distributed-memory machine. Compute is charged explicitly via
+//     Advance (the caller reports machine-independent work such as DP
+//     cells or tree characters) and each message costs
+//     overhead + bytes/bandwidth + latency on the virtual clock. This is
+//     how the repository reproduces 32–512-node scaling curves on a
+//     single-CPU host.
+//   - tcp: ranks are OS processes (or test goroutines) exchanging
+//     gob-encoded messages over TCP sockets — the "custom RPC" route for
+//     genuinely distributed runs.
+//
+// Fatal transport errors surface as panics inside rank code; the Run
+// harnesses recover them and return an error, mirroring MPI's abort
+// semantics without threading error returns through every algorithm.
+package mpi
+
+import (
+	"fmt"
+)
+
+// Any is the wildcard value for Recv's from and tag arguments.
+const Any = -1
+
+// Message is a received message.
+type Message struct {
+	From int
+	Tag  int
+	Data any
+}
+
+// Sized lets a payload report its approximate wire size in bytes, which
+// the simtime transport charges against bandwidth. Payloads that do not
+// implement Sized are charged DefaultMsgBytes.
+type Sized interface {
+	WireSize() int
+}
+
+// DefaultMsgBytes is the assumed size of payloads that do not implement
+// Sized.
+const DefaultMsgBytes = 64
+
+func payloadBytes(data any) int {
+	if s, ok := data.(Sized); ok {
+		return s.WireSize()
+	}
+	switch v := data.(type) {
+	case nil:
+		return 8
+	case []byte:
+		return len(v) + 8
+	case string:
+		return len(v) + 8
+	case []int32:
+		return 4*len(v) + 8
+	case []int64:
+		return 8*len(v) + 8
+	case []uint64:
+		return 8*len(v) + 8
+	case []float64:
+		return 8*len(v) + 8
+	case int, int32, int64, uint64, float64, bool:
+		return 8
+	default:
+		return DefaultMsgBytes
+	}
+}
+
+// transport is the per-rank endpoint each Comm delegates to.
+type transport interface {
+	rank() int
+	size() int
+	send(to, tag int, data any)
+	recv(from, tag int) Message
+	advance(seconds float64)
+	time() float64
+}
+
+// CommStats counts this rank's communication volume.
+type CommStats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+}
+
+// Comm is a communicator bound to one rank of a p-rank job.
+// It is used by exactly one goroutine at a time.
+type Comm struct {
+	tr      transport
+	collSeq int
+	stats   CommStats
+}
+
+// Stats returns the communication counters accumulated so far (messages
+// from collectives included).
+func (c *Comm) Stats() CommStats { return c.stats }
+
+// send/recv wrap the transport with volume accounting; every Comm path
+// (point-to-point and collectives) goes through them.
+func (c *Comm) send(to, tag int, data any) {
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(payloadBytes(data))
+	c.tr.send(to, tag, data)
+}
+
+func (c *Comm) recv(from, tag int) Message {
+	m := c.tr.recv(from, tag)
+	c.stats.MsgsRecv++
+	return m
+}
+
+// Rank returns this endpoint's rank in [0, Size).
+func (c *Comm) Rank() int { return c.tr.rank() }
+
+// Size returns the number of ranks in the job.
+func (c *Comm) Size() int { return c.tr.size() }
+
+// Send delivers data to rank `to` with the given tag (tag must be ≥ 0 for
+// user messages). Ownership of reference payloads transfers to the
+// receiver; the sender must not mutate them afterwards.
+func (c *Comm) Send(to, tag int, data any) {
+	if to < 0 || to >= c.Size() {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", to, c.Size()))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tags must be >= 0, got %d", tag))
+	}
+	c.send(to, tag, data)
+}
+
+// Recv blocks until a message matching from and tag (either may be Any)
+// is available and returns it. Matching is FIFO per sender.
+func (c *Comm) Recv(from, tag int) Message {
+	return c.recv(from, tag)
+}
+
+// Advance charges seconds of compute time to this rank's clock. It is a
+// no-op on wall-clock transports; under simtime it is the only way
+// compute becomes visible to the virtual clock.
+func (c *Comm) Advance(seconds float64) { c.tr.advance(seconds) }
+
+// Time returns the rank's current time: wall-clock seconds since job
+// start for real transports, the virtual clock under simtime.
+func (c *Comm) Time() float64 { return c.tr.time() }
+
+// --- Collectives -----------------------------------------------------
+//
+// Collectives must be called by every rank in the same order. Each call
+// consumes one tag from the reserved negative band, derived from a
+// per-communicator sequence number so different collectives never
+// cross-talk.
+
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return -1 - c.collSeq // start at -2: -1 is the Any wildcard
+}
+
+// Barrier blocks until every rank has entered the barrier.
+func (c *Comm) Barrier() {
+	tag := c.nextCollTag()
+	root := 0
+	if c.Rank() == root {
+		for i := 1; i < c.Size(); i++ {
+			c.recv(Any, tag)
+		}
+		for i := 1; i < c.Size(); i++ {
+			c.send(i, tag, nil)
+		}
+	} else {
+		c.send(root, tag, nil)
+		c.recv(root, tag)
+	}
+}
+
+// Bcast distributes root's data to every rank; every rank returns it.
+// Non-root callers pass nil (their argument is ignored).
+func (c *Comm) Bcast(root int, data any) any {
+	tag := c.nextCollTag()
+	if c.Rank() == root {
+		for i := 0; i < c.Size(); i++ {
+			if i != root {
+				c.send(i, tag, data)
+			}
+		}
+		return data
+	}
+	return c.recv(root, tag).Data
+}
+
+// Gather collects each rank's data at root, indexed by rank. Non-root
+// callers receive nil.
+func (c *Comm) Gather(root int, data any) []any {
+	tag := c.nextCollTag()
+	if c.Rank() == root {
+		out := make([]any, c.Size())
+		out[root] = data
+		for i := 1; i < c.Size(); i++ {
+			m := c.recv(Any, tag)
+			out[m.From] = m.Data
+		}
+		return out
+	}
+	c.send(root, tag, data)
+	return nil
+}
+
+// AllGather collects each rank's data on every rank, indexed by rank
+// (Gather followed by a broadcast of the assembled slice).
+func (c *Comm) AllGather(data any) []any {
+	all := c.Gather(0, data)
+	out := c.Bcast(0, all)
+	if out == nil {
+		return nil
+	}
+	return out.([]any)
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this
+// rank's part. Only root's parts argument is consulted; it must have
+// exactly Size elements.
+func (c *Comm) Scatter(root int, parts []any) any {
+	tag := c.nextCollTag()
+	if c.Rank() == root {
+		if len(parts) != c.Size() {
+			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", c.Size(), len(parts)))
+		}
+		for i := 0; i < c.Size(); i++ {
+			if i != root {
+				c.send(i, tag, parts[i])
+			}
+		}
+		return parts[root]
+	}
+	return c.recv(root, tag).Data
+}
+
+// ReduceInt64 folds every rank's value with op at root (op must be
+// associative and commutative); other ranks receive 0.
+func (c *Comm) ReduceInt64(root int, v int64, op func(a, b int64) int64) int64 {
+	tag := c.nextCollTag()
+	if c.Rank() == root {
+		acc := v
+		for i := 1; i < c.Size(); i++ {
+			acc = op(acc, c.recv(Any, tag).Data.(int64))
+		}
+		return acc
+	}
+	c.send(root, tag, v)
+	return 0
+}
+
+// AllreduceInt64 is ReduceInt64 followed by a broadcast of the result.
+func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) int64 {
+	r := c.ReduceInt64(0, v, op)
+	return c.Bcast(0, r).(int64)
+}
+
+// ReduceFloat64 folds every rank's value with op at root; other ranks
+// receive 0.
+func (c *Comm) ReduceFloat64(root int, v float64, op func(a, b float64) float64) float64 {
+	tag := c.nextCollTag()
+	if c.Rank() == root {
+		acc := v
+		for i := 1; i < c.Size(); i++ {
+			acc = op(acc, c.recv(Any, tag).Data.(float64))
+		}
+		return acc
+	}
+	c.send(root, tag, v)
+	return 0
+}
+
+// MaxFloat64 is a convenience Allreduce-max, used to compute a job's
+// makespan (the maximum per-rank finish time).
+func (c *Comm) MaxFloat64(v float64) float64 {
+	r := c.ReduceFloat64(0, v, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	return c.Bcast(0, r).(float64)
+}

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// wireMsg is the gob envelope exchanged over TCP.
+type wireMsg struct {
+	From int
+	Tag  int
+	Data any
+}
+
+// RegisterType makes a payload type transferable over the TCP transport
+// (a thin wrapper over gob.Register so callers need not import
+// encoding/gob themselves). Inproc and simtime transports need no
+// registration.
+func RegisterType(v any) { gob.Register(v) }
+
+// tcpTransport is one rank's endpoint of a fully connected TCP mesh.
+type tcpTransport struct {
+	r, n  int
+	start time.Time
+	box   *mailbox
+
+	mu    sync.Mutex // guards encoders
+	encs  []*gob.Encoder
+	conns []net.Conn
+}
+
+func (t *tcpTransport) rank() int { return t.r }
+func (t *tcpTransport) size() int { return t.n }
+
+func (t *tcpTransport) send(to, tag int, data any) {
+	if to == t.r {
+		t.box.put(Message{From: t.r, Tag: tag, Data: data})
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.encs[to].Encode(wireMsg{From: t.r, Tag: tag, Data: data}); err != nil {
+		panic(fmt.Sprintf("mpi: tcp send rank %d -> %d: %v", t.r, to, err))
+	}
+}
+
+func (t *tcpTransport) recv(from, tag int) Message { return t.box.take(from, tag) }
+func (t *tcpTransport) advance(float64)            {}
+func (t *tcpTransport) time() float64              { return time.Since(t.start).Seconds() }
+
+// readLoop pumps messages from one peer. It must use the same Decoder
+// that read the handshake: gob decoders buffer ahead, so a second decoder
+// on the same connection would lose bytes.
+func (t *tcpTransport) readLoop(dec *gob.Decoder) {
+	for {
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			return // peer closed; job is ending
+		}
+		t.box.put(Message{From: m.From, Tag: m.Tag, Data: m.Data})
+	}
+}
+
+func (t *tcpTransport) close() {
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// DialMesh builds a fully connected TCP mesh for rank r of n given the
+// listen addresses of all ranks (addrs[i] is rank i's host:port). Each
+// rank listens on addrs[r], accepts connections from lower ranks, and
+// dials higher ranks. The returned cleanup must be called after the rank
+// function finishes.
+//
+// The handshake is: dialer sends its rank as the first gob value.
+func DialMesh(r int, addrs []string) (*Comm, func(), error) {
+	n := len(addrs)
+	t := &tcpTransport{
+		r: r, n: n,
+		start: time.Now(),
+		box:   newMailbox(),
+		encs:  make([]*gob.Encoder, n),
+		conns: make([]net.Conn, n),
+	}
+	decs := make([]*gob.Decoder, n)
+
+	ln, err := net.Listen("tcp", addrs[r])
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpi: rank %d listen %s: %w", r, addrs[r], err)
+	}
+
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	setErr := func(e error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = e
+		}
+		errMu.Unlock()
+	}
+
+	// Accept connections from all lower ranks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < r; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				setErr(fmt.Errorf("mpi: rank %d accept: %w", r, err))
+				return
+			}
+			dec := gob.NewDecoder(conn)
+			var peer int
+			if err := dec.Decode(&peer); err != nil {
+				setErr(fmt.Errorf("mpi: rank %d handshake: %w", r, err))
+				return
+			}
+			t.conns[peer] = conn
+			decs[peer] = dec
+		}
+	}()
+
+	// Dial all higher ranks (with retries while peers start up).
+	for peer := r + 1; peer < n; peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			var conn net.Conn
+			var err error
+			for attempt := 0; attempt < 100; attempt++ {
+				conn, err = net.Dial("tcp", addrs[peer])
+				if err == nil {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if err != nil {
+				setErr(fmt.Errorf("mpi: rank %d dial rank %d: %w", r, peer, err))
+				return
+			}
+			enc := gob.NewEncoder(conn)
+			if err := enc.Encode(r); err != nil {
+				setErr(fmt.Errorf("mpi: rank %d handshake to %d: %w", r, peer, err))
+				return
+			}
+			t.conns[peer] = conn
+			t.encs[peer] = enc
+		}(peer)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		ln.Close()
+		t.close()
+		return nil, nil, firstErr
+	}
+
+	for peer, conn := range t.conns {
+		if peer == r || conn == nil {
+			continue
+		}
+		if t.encs[peer] == nil { // accepted connection: writer not yet set up
+			t.encs[peer] = gob.NewEncoder(conn)
+		}
+		if decs[peer] == nil { // dialed connection: reader not yet set up
+			decs[peer] = gob.NewDecoder(conn)
+		}
+		go t.readLoop(decs[peer])
+	}
+
+	cleanup := func() {
+		ln.Close()
+		t.close()
+	}
+	return &Comm{tr: t}, cleanup, nil
+}
+
+// RunTCP executes f on p ranks connected over loopback TCP, one goroutine
+// per rank, blocking until all finish. It exercises the genuine
+// socket/RPC path inside a single process; multi-process deployments use
+// DialMesh directly with one rank per process.
+func RunTCP(p int, basePort int, f func(c *Comm)) error {
+	addrs := make([]string, p)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
+	}
+	errs := make(chan error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					errs <- fmt.Errorf("mpi: tcp rank %d panicked: %v", r, e)
+				}
+			}()
+			c, cleanup, err := DialMesh(r, addrs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cleanup()
+			f(c)
+			// Drain grace: give in-flight messages to peers time to land
+			// before tearing the sockets down.
+			c.Barrier()
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

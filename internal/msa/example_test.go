@@ -1,0 +1,28 @@
+package msa_test
+
+import (
+	"fmt"
+
+	"profam/internal/msa"
+	"profam/internal/seq"
+)
+
+// ExampleStar aligns three family members; the middle one carries an
+// insertion, which opens a gap column in the others.
+func ExampleStar() {
+	set := seq.NewSet()
+	set.MustAdd("m0", "MKWVTFISLLFLF")
+	set.MustAdd("m1", "MKWVTFGGISLLFLF")
+	set.MustAdd("m2", "MKWVTFISLLFLF")
+	a, err := msa.Star(set, []int{0, 1, 2}, nil)
+	if err != nil {
+		panic(err)
+	}
+	for i, row := range a.Rows {
+		fmt.Printf("%s %s\n", a.Names[i], row)
+	}
+	// Output:
+	// m0 MKWVTF--ISLLFLF
+	// m1 MKWVTFGGISLLFLF
+	// m2 MKWVTF--ISLLFLF
+}

@@ -1,0 +1,233 @@
+// Package msa builds multiple sequence alignments of protein families by
+// star alignment: the member with the highest summed pairwise similarity
+// becomes the center, every other member is aligned to it globally, and
+// the pairwise gap structures are merged ("once a gap, always a gap").
+//
+// The paper's Figure 1 presents a family this way — an aligned block of
+// members with conserved columns visible down the page. The pipeline
+// itself never needs an MSA; this package serves reporting and the
+// family-viewer example.
+package msa
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"profam/internal/align"
+	"profam/internal/seq"
+)
+
+// Alignment is a rectangular alignment block: Rows[i] has equal length
+// for all i, with '-' for gaps.
+type Alignment struct {
+	Names  []string
+	Rows   [][]byte
+	Center int // index of the star center within Rows
+}
+
+// Width returns the number of alignment columns.
+func (a *Alignment) Width() int {
+	if len(a.Rows) == 0 {
+		return 0
+	}
+	return len(a.Rows[0])
+}
+
+// Conservation returns, per column, the fraction of rows carrying the
+// column's most common residue; gap rows count against the column, so a
+// mostly-gap column is never reported as conserved.
+func (a *Alignment) Conservation() []float64 {
+	w := a.Width()
+	out := make([]float64, w)
+	for col := 0; col < w; col++ {
+		counts := map[byte]int{}
+		for _, row := range a.Rows {
+			if c := row[col]; c != '-' {
+				counts[c]++
+			}
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		if len(a.Rows) > 0 {
+			out[col] = float64(best) / float64(len(a.Rows))
+		}
+	}
+	return out
+}
+
+// Format renders the alignment in blocks of width columns with a
+// conservation line ('*' = fully conserved, ':' = ≥ 50 %).
+func (a *Alignment) Format(width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	cons := a.Conservation()
+	nameW := 0
+	for _, n := range a.Names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var buf bytes.Buffer
+	for off := 0; off < a.Width(); off += width {
+		end := off + width
+		if end > a.Width() {
+			end = a.Width()
+		}
+		for i, row := range a.Rows {
+			fmt.Fprintf(&buf, "%-*s  %s\n", nameW, a.Names[i], row[off:end])
+		}
+		fmt.Fprintf(&buf, "%-*s  ", nameW, "")
+		for col := off; col < end; col++ {
+			switch {
+			case cons[col] == 1:
+				buf.WriteByte('*')
+			case cons[col] >= 0.5:
+				buf.WriteByte(':')
+			default:
+				buf.WriteByte(' ')
+			}
+		}
+		buf.WriteString("\n\n")
+	}
+	return buf.String()
+}
+
+// Star aligns the given member sequences of set (IDs) and returns the
+// multiple alignment. At least one member is required.
+func Star(set *seq.Set, members []int, sc *align.Scoring) (*Alignment, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("msa: no members")
+	}
+	if sc == nil {
+		sc = align.DefaultScoring()
+	}
+	ids := append([]int(nil), members...)
+	sort.Ints(ids)
+
+	out := &Alignment{}
+	for _, id := range ids {
+		out.Names = append(out.Names, set.Get(id).Name)
+	}
+	if len(ids) == 1 {
+		out.Rows = [][]byte{append([]byte(nil), set.Get(ids[0]).Res...)}
+		return out, nil
+	}
+
+	al := align.NewAligner(sc)
+
+	// Choose the center: the member with the highest summed local score
+	// against all others.
+	sums := make([]int64, len(ids))
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			s := int64(al.LocalScore(set.Get(ids[i]).Res, set.Get(ids[j]).Res))
+			sums[i] += s
+			sums[j] += s
+		}
+	}
+	center := 0
+	for i, s := range sums {
+		if s > sums[center] {
+			center = i
+		}
+	}
+	out.Center = center
+
+	// Align every member to the center globally, collecting per-member
+	// gap structures relative to center coordinates.
+	centerRes := set.Get(ids[center]).Res
+	type pairAln struct {
+		ops []align.EditOp
+	}
+	alns := make([]pairAln, len(ids))
+	// gapAfter[k] = maximum insertion length (member residues) opened
+	// between center positions k-1 and k (k in 0..len(center)).
+	gapAfter := make([]int, len(centerRes)+1)
+	for i, id := range ids {
+		if i == center {
+			continue
+		}
+		r := al.Align(set.Get(id).Res, centerRes, align.Global)
+		alns[i] = pairAln{ops: r.Ops}
+		// Track insertions relative to the center.
+		cpos := 0
+		for _, op := range r.Ops {
+			switch op.Op {
+			case 'M', 'D': // both consume center residues
+				cpos += op.Len
+			case 'I':
+				if op.Len > gapAfter[cpos] {
+					gapAfter[cpos] = op.Len
+				}
+			}
+		}
+	}
+
+	// Column layout: before center position k there are gapAfter[k]
+	// insertion columns.
+	width := len(centerRes)
+	for _, g := range gapAfter {
+		width += g
+	}
+	colOf := make([]int, len(centerRes)+1) // first column of center pos k
+	col := 0
+	for k := 0; k <= len(centerRes); k++ {
+		col += gapAfter[k]
+		colOf[k] = col
+		col++
+	}
+
+	blank := func() []byte {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '-'
+		}
+		return row
+	}
+
+	out.Rows = make([][]byte, len(ids))
+	// Center row.
+	crow := blank()
+	for k, c := range centerRes {
+		crow[colOf[k]] = c
+	}
+	out.Rows[center] = crow
+
+	// Member rows.
+	for i, id := range ids {
+		if i == center {
+			continue
+		}
+		row := blank()
+		res := set.Get(id).Res
+		mpos, cpos := 0, 0
+		for _, op := range alns[i].ops {
+			switch op.Op {
+			case 'M':
+				for k := 0; k < op.Len; k++ {
+					row[colOf[cpos]] = res[mpos]
+					mpos++
+					cpos++
+				}
+			case 'D': // gap in member: center advances
+				cpos += op.Len
+			case 'I': // member insertion: fill the insertion columns,
+				// right-aligned against the following center column for
+				// stable-looking blocks.
+				start := colOf[cpos] - op.Len
+				for k := 0; k < op.Len; k++ {
+					row[start+k] = res[mpos]
+					mpos++
+				}
+			}
+		}
+		out.Rows[i] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package msa
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"profam/internal/seq"
+	"profam/internal/workload"
+)
+
+func degap(row []byte) string {
+	return string(bytes.ReplaceAll(row, []byte("-"), nil))
+}
+
+func TestStarIdenticalMembers(t *testing.T) {
+	set := seq.NewSet()
+	s := "MKWVTFISLLFLFSSAYSRGV"
+	for i := 0; i < 4; i++ {
+		set.MustAdd("m", s)
+	}
+	a, err := Star(set, []int{0, 1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Width() != len(s) {
+		t.Errorf("width %d, want %d", a.Width(), len(s))
+	}
+	for _, row := range a.Rows {
+		if string(row) != s {
+			t.Errorf("row %q, want %q", row, s)
+		}
+	}
+	for _, c := range a.Conservation() {
+		if c != 1 {
+			t.Errorf("conservation %v, want 1", c)
+		}
+	}
+	if !strings.Contains(a.Format(60), "*") {
+		t.Error("format lacks conservation markers")
+	}
+}
+
+func TestStarWithInsertion(t *testing.T) {
+	set := seq.NewSet()
+	base := "MKWVTFISLLFLFSSAYSRGVFRRDTHKSE"
+	set.MustAdd("a", base)
+	set.MustAdd("b", base)
+	set.MustAdd("ins", base[:15]+"GGGG"+base[15:])
+	a, err := Star(set, []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Width() < len(base)+4 {
+		t.Errorf("width %d too small for the insertion", a.Width())
+	}
+	// Degapping must reproduce every input sequence exactly.
+	for i, row := range a.Rows {
+		want := string(set.Get(i).Res)
+		if degap(row) != want {
+			t.Errorf("row %d degapped = %q, want %q", i, degap(row), want)
+		}
+	}
+}
+
+func TestStarSingleAndEmpty(t *testing.T) {
+	set := seq.NewSet()
+	set.MustAdd("only", "ACDEFGHIK")
+	a, err := Star(set, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Width() != 9 || len(a.Rows) != 1 {
+		t.Errorf("single-member MSA wrong: %+v", a)
+	}
+	if _, err := Star(set, nil, nil); err == nil {
+		t.Error("empty member list accepted")
+	}
+}
+
+// Property: every row of a star alignment degaps to its input sequence
+// and all rows have equal width.
+func TestStarRoundTripProperty(t *testing.T) {
+	f := func(s int64) bool {
+		rng := rand.New(rand.NewSource(s))
+		set, _ := workload.Generate(workload.Params{
+			Families: 1, MeanFamilySize: 3 + rng.Intn(5), MeanLength: 40 + rng.Intn(60),
+			Divergence: 0.10, IndelRate: 0.02, ContainedFrac: 0.01,
+			Singletons: 1, Seed: s,
+		})
+		var members []int
+		for i := 0; i < set.Len(); i++ {
+			if strings.HasPrefix(set.Get(i).Name, "fam0") && !strings.Contains(set.Get(i).Name, "frag") {
+				members = append(members, i)
+			}
+		}
+		if len(members) < 2 {
+			return true
+		}
+		a, err := Star(set, members, nil)
+		if err != nil {
+			return false
+		}
+		w := a.Width()
+		for i, row := range a.Rows {
+			if len(row) != w {
+				return false
+			}
+			if degap(row) != string(set.Get(members[i]).Res) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConservationDropsWithDivergence(t *testing.T) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 1, MeanFamilySize: 6, MeanLength: 80,
+		Divergence: 0.15, IndelRate: 0, ContainedFrac: 0.01, Singletons: 1, Seed: 5,
+	})
+	var members []int
+	for i := 0; i < set.Len(); i++ {
+		if strings.HasPrefix(set.Get(i).Name, "fam0") {
+			members = append(members, i)
+		}
+	}
+	a, err := Star(set, members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := a.Conservation()
+	perfect := 0
+	for _, c := range cons {
+		if c > 1.000001 || c < 0 {
+			t.Fatalf("conservation out of range: %v", c)
+		}
+		if c == 1 {
+			perfect++
+		}
+	}
+	if perfect == len(cons) {
+		t.Error("divergent family shows 100% conservation everywhere")
+	}
+	if perfect == 0 {
+		t.Error("no conserved columns at 15% divergence (suspicious)")
+	}
+}

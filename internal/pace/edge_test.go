@@ -1,0 +1,106 @@
+package pace
+
+import (
+	"testing"
+
+	"profam/internal/mpi"
+	"profam/internal/seq"
+)
+
+// TestMoreRanksThanWork: a tiny input on many ranks leaves most workers
+// with no buckets; the protocol must still terminate and agree with the
+// serial result.
+func TestMoreRanksThanWork(t *testing.T) {
+	set := seq.NewSet()
+	set.MustAdd("a", "MKWVTFISLLFLFSSAYSRGVFRR")
+	set.MustAdd("b", "MKWVTFISLLFLFSSAYSRGVFRR")
+	set.MustAdd("c", "PPPPGGGGYYYYHHHHKKKKEEEE")
+	cfg := Config{Psi: 6}
+
+	serialKeep, _ := runRR(t, set, cfg, 1)
+	for _, p := range []int{17, 40} {
+		keep, _ := runRR(t, set, cfg, p)
+		for i := range serialKeep {
+			if keep[i] != serialKeep[i] {
+				t.Fatalf("p=%d: keep[%d] differs", p, i)
+			}
+		}
+	}
+}
+
+// TestEmptyAndSingletonInputs: degenerate inputs must not wedge the
+// master–worker protocol.
+func TestEmptyAndSingletonInputs(t *testing.T) {
+	empty := seq.NewSet()
+	one := seq.NewSet()
+	one.MustAdd("only", "MKWVTFISLLFLFSSAYSRGV")
+
+	for _, p := range []int{1, 3} {
+		for name, set := range map[string]*seq.Set{"empty": empty, "one": one} {
+			_, err := mpi.RunSim(p, mpi.CostModel{}, func(c *mpi.Comm) {
+				keep, _, err := RedundancyRemoval(c, set, Config{Psi: 6})
+				if err != nil {
+					panic(err)
+				}
+				for _, k := range keep {
+					if !k {
+						panic("degenerate input lost a sequence")
+					}
+				}
+				comp, _, err := ConnectedComponents(c, set, keep, Config{Psi: 6})
+				if err != nil {
+					panic(err)
+				}
+				if len(comp) != set.Len() {
+					panic("component labels wrong length")
+				}
+			})
+			if err != nil {
+				t.Fatalf("%s input on %d ranks: %v", name, p, err)
+			}
+		}
+	}
+}
+
+// TestAllIdenticalSequences: everything is mutually contained; RR must
+// keep exactly one.
+func TestAllIdenticalSequences(t *testing.T) {
+	set := seq.NewSet()
+	for i := 0; i < 6; i++ {
+		set.MustAdd("dup", "MKWVTFISLLFLFSSAYSRGVFRRDTHKSE")
+	}
+	keep, st := runRR(t, set, Config{Psi: 6}, 1)
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	if kept != 1 {
+		t.Errorf("kept %d of 6 identical sequences, want exactly 1", kept)
+	}
+	if st.PairsPositive == 0 {
+		t.Error("no containments recorded")
+	}
+}
+
+// TestNoSharedMatches: sequences with no ψ-length shared words generate
+// zero pairs; both phases must still finish cleanly.
+func TestNoSharedMatches(t *testing.T) {
+	set := seq.NewSet()
+	set.MustAdd("a", "AAAAAAAAAAAAAAAAAAAA")
+	set.MustAdd("b", "CCCCCCCCCCCCCCCCCCCC")
+	set.MustAdd("c", "DDDDDDDDDDDDDDDDDDDD")
+	keep, st := runRR(t, set, Config{Psi: 6}, 2)
+	if st.PairsGenerated != 0 || st.PairsAligned != 0 {
+		t.Errorf("unexpected pairs: %+v", st)
+	}
+	comp, _ := runCCD(t, set, keep, Config{Psi: 6}, 2)
+	labels := map[int32]bool{}
+	for _, l := range comp {
+		labels[l] = true
+	}
+	if len(labels) != 3 {
+		t.Errorf("disjoint sequences should form 3 singleton components, got %d", len(labels))
+	}
+}

@@ -1,0 +1,418 @@
+package pace
+
+import (
+	"container/heap"
+	"sort"
+
+	"profam/internal/align"
+	"profam/internal/esa"
+	"profam/internal/mpi"
+	"profam/internal/seq"
+	"profam/internal/suffixtree"
+	"profam/internal/unionfind"
+)
+
+// pairSource pulls promising pairs out of a worker's subtrees in
+// decreasing match-length order, deduplicating locally (the first — and
+// therefore longest — occurrence of each sequence pair wins).
+type pairSource struct {
+	refs []nodeRef
+	cur  int
+	buf  []PairItem
+	pos  int
+	seen map[int64]bool
+	raw  int64 // pairs enumerated before local dedup
+}
+
+type nodeRef struct {
+	t *suffixtree.SubTree
+	i int
+}
+
+func newPairSource(trees []*suffixtree.SubTree) *pairSource {
+	s := &pairSource{seen: make(map[int64]bool)}
+	for _, t := range trees {
+		for i := range t.Nodes {
+			s.refs = append(s.refs, nodeRef{t, i})
+		}
+	}
+	sort.SliceStable(s.refs, func(a, b int) bool {
+		return s.refs[a].t.Nodes[s.refs[a].i].Depth > s.refs[b].t.Nodes[s.refs[b].i].Depth
+	})
+	return s
+}
+
+// next returns up to k pairs and whether the source is now exhausted.
+func (s *pairSource) next(k int) ([]PairItem, bool) {
+	out := make([]PairItem, 0, k)
+	for len(out) < k {
+		if s.pos >= len(s.buf) {
+			if s.cur >= len(s.refs) {
+				return out, true
+			}
+			r := s.refs[s.cur]
+			s.cur++
+			s.buf = s.buf[:0]
+			s.pos = 0
+			r.t.EmitNodePairs(r.i, func(p suffixtree.Pair) bool {
+				s.raw++
+				key := pairKey(p.SeqA, p.SeqB)
+				if !s.seen[key] {
+					s.seen[key] = true
+					s.buf = append(s.buf, PairItem{A: p.SeqA, B: p.SeqB, Len: p.Len})
+				}
+				return true
+			})
+			continue
+		}
+		out = append(out, s.buf[s.pos])
+		s.pos++
+	}
+	exhausted := s.pos >= len(s.buf) && s.cur >= len(s.refs)
+	return out, exhausted
+}
+
+// buildTrees constructs the per-bucket indexes owned by this rank (GST
+// or ESA per cfg.Index), charging construction work to the virtual
+// clock.
+func buildTrees(c *mpi.Comm, set *seq.Set, bucketIdx []int, buckets []suffixtree.Bucket, cfg Config) ([]*suffixtree.SubTree, error) {
+	opt := suffixtree.Options{MinMatch: cfg.Psi, PrefixLen: cfg.PrefixLen}
+	build := suffixtree.BuildBucket
+	if cfg.Index == IndexESA {
+		build = esa.BuildBucket
+	}
+	trees := make([]*suffixtree.SubTree, 0, len(bucketIdx))
+	var weight int64
+	for _, bi := range bucketIdx {
+		t, err := build(set, buckets[bi], opt)
+		if err != nil {
+			return nil, err
+		}
+		weight += buckets[bi].Weight
+		trees = append(trees, t)
+	}
+	c.Advance(float64(weight) * cfg.Costs.SecPerTreeChar)
+	return trees, nil
+}
+
+// masterState is the generic master-side round bookkeeping.
+type masterState struct {
+	pending taskHeap
+	seen    map[int64]bool
+	seqno   int64
+	stats   Stats
+	logic   masterLogic
+	cfg     Config
+}
+
+func newMasterState(logic masterLogic, cfg Config) *masterState {
+	return &masterState{
+		pending: taskHeap{fifo: cfg.RandomPairOrder},
+		seen:    make(map[int64]bool),
+		logic:   logic,
+		cfg:     cfg,
+	}
+}
+
+// ingestPairs filters a batch of incoming promising pairs into the
+// pending queue. Returns the number of filter operations performed.
+func (ms *masterState) ingestPairs(pairs []PairItem) int {
+	for _, pr := range pairs {
+		key := pairKey(pr.A, pr.B)
+		if ms.seen[key] {
+			ms.stats.PairsDuplicate++
+			continue
+		}
+		ms.seen[key] = true
+		enq, closure := ms.logic.filter(pr)
+		if closure {
+			ms.stats.PairsClosure++
+			continue
+		}
+		if enq {
+			ms.seqno++
+			heap.Push(&ms.pending, taskEntry{PairItem: pr, seq: ms.seqno})
+		}
+	}
+	return len(pairs)
+}
+
+// absorbResults integrates worker alignment outcomes.
+func (ms *masterState) absorbResults(results []AlignOutcome) {
+	for _, r := range results {
+		ms.stats.PairsAligned++
+		ms.stats.Cells += r.Cells
+		if r.OK {
+			ms.stats.PairsPositive++
+		}
+		ms.logic.absorb(r)
+	}
+}
+
+// popTasks extracts up to k still-relevant tasks, re-filtering against
+// the current clustering state (clusters may have merged since enqueue).
+func (ms *masterState) popTasks(k int) []PairItem {
+	var tasks []PairItem
+	for len(tasks) < k && ms.pending.Len() > 0 {
+		e := heap.Pop(&ms.pending).(taskEntry)
+		enq, closure := ms.logic.filter(e.PairItem)
+		if closure {
+			ms.stats.PairsClosure++
+			continue
+		}
+		if enq {
+			tasks = append(tasks, e.PairItem)
+		}
+	}
+	return tasks
+}
+
+// runMaster drives the lockstep master loop on rank 0.
+func runMaster(c *mpi.Comm, ms *masterState) {
+	p := c.Size()
+	exhausted := make([]bool, p)
+	for {
+		ms.stats.Rounds++
+		for w := 1; w < p; w++ {
+			msg := c.Recv(w, tagWorker).Data.(WorkerMsg)
+			ms.absorbResults(msg.Results)
+			if msg.Exhausted {
+				exhausted[w] = true
+			}
+			ms.stats.PairsGenerated += int64(len(msg.Pairs))
+			nops := ms.ingestPairs(msg.Pairs)
+			c.Advance(float64(nops+len(msg.Results)) * ms.cfg.Costs.SecPerPairFilter)
+		}
+		done := ms.pending.Len() == 0
+		for w := 1; w < p; w++ {
+			if !exhausted[w] {
+				done = false
+			}
+		}
+		// Spread the pending work evenly over the workers this round:
+		// handing the first workers full batches would leave the rest
+		// idle and serialize the round on the loaded few.
+		quota := ms.cfg.BatchTasks
+		if p > 1 {
+			fair := ms.pending.Len()/(p-1) + 1
+			if fair < quota {
+				quota = fair
+			}
+		}
+		for w := 1; w < p; w++ {
+			var tasks []PairItem
+			if !done {
+				tasks = ms.popTasks(quota)
+			}
+			c.Send(w, tagMaster, MasterMsg{Tasks: tasks, Done: done})
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// runWorker drives the lockstep worker loop on ranks 1..p-1.
+func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg Config) {
+	al := align.NewAligner(cfg.Scoring)
+	var results []AlignOutcome
+	exhausted := false
+	for {
+		var pairs []PairItem
+		if !exhausted {
+			pairs, exhausted = src.next(cfg.BatchPairs)
+			c.Advance(float64(len(pairs)) * cfg.Costs.SecPerPairGen)
+		}
+		c.Send(0, tagWorker, WorkerMsg{Pairs: pairs, Exhausted: exhausted, Results: results})
+		msg := c.Recv(0, tagMaster).Data.(MasterMsg)
+		if msg.Done {
+			return
+		}
+		results = results[:0]
+		for _, t := range msg.Tasks {
+			out := wl.alignPair(al, set, t)
+			c.Advance(float64(out.Cells) * cfg.Costs.SecPerCell)
+			results = append(results, out)
+		}
+	}
+}
+
+// runSerial executes a whole phase on a single rank: pairs are consumed
+// in decreasing match-length order with the same filtering policy.
+func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src *pairSource, cfg Config) {
+	al := align.NewAligner(cfg.Scoring)
+	for {
+		ms.stats.Rounds++
+		pairs, exhausted := src.next(cfg.BatchPairs)
+		c.Advance(float64(len(pairs)) * cfg.Costs.SecPerPairGen)
+		ms.stats.PairsGenerated += int64(len(pairs))
+		nops := ms.ingestPairs(pairs)
+		c.Advance(float64(nops) * cfg.Costs.SecPerPairFilter)
+		// One task at a time so each alignment outcome can eliminate
+		// later pending pairs via the closure filter — the serial
+		// reference semantics the parallel rounds approximate.
+		for ms.pending.Len() > 0 {
+			for _, t := range ms.popTasks(1) {
+				out := wl.alignPair(al, set, t)
+				c.Advance(float64(out.Cells) * cfg.Costs.SecPerCell)
+				ms.absorbResults([]AlignOutcome{out})
+			}
+		}
+		if exhausted {
+			ms.stats.PairsRaw = src.raw
+			return
+		}
+	}
+}
+
+// runPhase wires buckets, trees, and the master/worker/serial loops
+// together for one phase over the given sequence set. It returns the
+// master's stats on rank 0 (zero Stats elsewhere; callers broadcast what
+// they need).
+func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Config) (Stats, error) {
+	start := c.Time()
+	buckets, err := suffixtree.Buckets(set, suffixtree.Options{MinMatch: cfg.Psi, PrefixLen: cfg.PrefixLen})
+	if err != nil {
+		return Stats{}, err
+	}
+	p := c.Size()
+	ms := newMasterState(ml, cfg)
+
+	if p == 1 {
+		own := make([]int, len(buckets))
+		for i := range own {
+			own[i] = i
+		}
+		trees, err := buildTrees(c, set, own, buckets, cfg)
+		if err != nil {
+			return Stats{}, err
+		}
+		treeDone := c.Time()
+		runSerial(c, set, ms, wl, newPairSource(trees), cfg)
+		ms.stats.TreeTime = treeDone - start
+		ms.stats.PhaseTime = c.Time() - start
+		return ms.stats, nil
+	}
+
+	// Workers own the buckets; the master owns the clustering state.
+	assign := suffixtree.AssignBuckets(buckets, p-1)
+	if c.Rank() == 0 {
+		runMaster(c, ms)
+		raw := c.ReduceInt64(0, 0, addInt64)
+		ms.stats.PairsRaw = raw
+		ms.stats.PhaseTime = c.MaxFloat64(c.Time()) - start
+		return ms.stats, nil
+	}
+	trees, err := buildTrees(c, set, assign[c.Rank()-1], buckets, cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	src := newPairSource(trees)
+	runWorker(c, set, wl, src, cfg)
+	c.ReduceInt64(0, src.raw, addInt64)
+	c.MaxFloat64(c.Time())
+	return Stats{}, nil
+}
+
+func addInt64(a, b int64) int64 { return a + b }
+
+// --- public phase entry points -------------------------------------------
+
+// RedundancyRemoval executes the paper's RR phase collectively: every
+// rank calls it with the same set and config, and every rank returns the
+// same keep mask (keep[id] == false means sequence id is contained in
+// another sequence and should be dropped). Stats are likewise identical
+// on all ranks.
+func RedundancyRemoval(c *mpi.Comm, set *seq.Set, cfg Config) ([]bool, Stats, error) {
+	cfg = cfg.withDefaults()
+	ml := &rrMaster{redundant: make([]bool, set.Len())}
+	st, err := runPhase(c, set, ml, rrWorker{params: cfg.Contain}, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	keep := make([]bool, set.Len())
+	if c.Rank() == 0 {
+		for i := range keep {
+			keep[i] = !ml.redundant[i]
+		}
+	}
+	keep = c.Bcast(0, keep).([]bool)
+	st = broadcastStats(c, st)
+	return keep, st, nil
+}
+
+// ConnectedComponents executes the paper's CCD phase collectively over
+// the sequences with keep[id] == true (pass nil to cluster everything).
+// It returns comp, where comp[id] is the component label of sequence id
+// (labels are the smallest member ID in the component) or -1 for dropped
+// sequences. All ranks return identical results.
+func ConnectedComponents(c *mpi.Comm, set *seq.Set, keep []bool, cfg Config) ([]int32, Stats, error) {
+	cfg = cfg.withDefaults()
+	// Build the kept-subset view identically on every rank.
+	var ids []int
+	for i := 0; i < set.Len(); i++ {
+		if keep == nil || keep[i] {
+			ids = append(ids, i)
+		}
+	}
+	sub, orig := set.Subset(ids)
+
+	ml := &ccMaster{uf: unionfind.New(sub.Len()), disableFilter: cfg.DisableClosureFilter}
+	st, err := runPhase(c, sub, ml, ccWorker{params: cfg.Overlap}, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	comp := make([]int32, set.Len())
+	if c.Rank() == 0 {
+		for i := range comp {
+			comp[i] = -1
+		}
+		// Label components by their smallest original member ID.
+		rootLabel := make(map[int]int32)
+		for subID := 0; subID < sub.Len(); subID++ {
+			r := ml.uf.Find(subID)
+			if _, ok := rootLabel[r]; !ok {
+				rootLabel[r] = int32(orig[subID]) // first visit = smallest subID = smallest orig
+			}
+			comp[orig[subID]] = rootLabel[r]
+		}
+	}
+	comp = c.Bcast(0, comp).([]int32)
+	st = broadcastStats(c, st)
+	return comp, st, nil
+}
+
+// broadcastStats shares the master's stats with all ranks.
+func broadcastStats(c *mpi.Comm, st Stats) Stats {
+	if c.Size() == 1 {
+		return st
+	}
+	out := c.Bcast(0, st)
+	return out.(Stats)
+}
+
+// ComponentsBySize groups sequence IDs by component label (ignoring -1)
+// and returns the groups with at least minSize members, largest first
+// (ties by label).
+func ComponentsBySize(comp []int32, minSize int) [][]int {
+	byLabel := map[int32][]int{}
+	for id, l := range comp {
+		if l >= 0 {
+			byLabel[l] = append(byLabel[l], id)
+		}
+	}
+	var out [][]int
+	for _, members := range byLabel {
+		if len(members) >= minSize {
+			out = append(out, members)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

@@ -1,0 +1,38 @@
+package pace
+
+import (
+	"testing"
+)
+
+// TestESAIndexMatchesGST: both index kinds must drive the phases to the
+// same results (they enumerate the same maximal-match pairs).
+func TestESAIndexMatchesGST(t *testing.T) {
+	set, _ := famSet(t)
+	gst := Config{Psi: 6}
+	esaCfg := Config{Psi: 6, Index: IndexESA}
+
+	keepG, stG := runRR(t, set, gst, 1)
+	keepE, stE := runRR(t, set, esaCfg, 1)
+	for i := range keepG {
+		if keepG[i] != keepE[i] {
+			t.Fatalf("keep[%d] differs between GST and ESA", i)
+		}
+	}
+	if stG.PairsRaw != stE.PairsRaw {
+		t.Errorf("raw pair counts differ: gst=%d esa=%d", stG.PairsRaw, stE.PairsRaw)
+	}
+
+	compG, _ := runCCD(t, set, keepG, gst, 1)
+	compE, _ := runCCD(t, set, keepE, esaCfg, 1)
+	if !samePartition(compG, compE) {
+		t.Error("components differ between GST and ESA")
+	}
+
+	// Parallel run with ESA must agree with serial ESA.
+	keepP, _ := runRR(t, set, esaCfg, 4)
+	for i := range keepE {
+		if keepE[i] != keepP[i] {
+			t.Fatalf("parallel ESA keep[%d] differs", i)
+		}
+	}
+}

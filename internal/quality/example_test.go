@@ -1,0 +1,20 @@
+package quality_test
+
+import (
+	"fmt"
+
+	"profam/internal/quality"
+)
+
+// ExampleCompare scores a test clustering against a benchmark.
+func ExampleCompare() {
+	test := []int{0, 0, 1, 1, -1} // last sequence unclustered
+	bench := []int{0, 0, 0, 1, 1}
+	c, err := quality.Compare(test, bench)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PR=%.2f SE=%.2f N=%d\n", c.Precision(), c.Sensitivity(), c.N)
+	// Output:
+	// PR=0.50 SE=0.33 N=4
+}

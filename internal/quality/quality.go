@@ -1,0 +1,121 @@
+// Package quality implements the paper's clustering-agreement measures
+// (Equations 1–4): a pair of sequences is a true positive when both
+// schemes cluster them together, a true negative when both keep them
+// apart, and so on. Precision, sensitivity, overlap quality, and the
+// correlation coefficient summarise the confusion counts.
+//
+// Following the paper, only sequences that are included (label ≥ 0) in
+// BOTH clusterings participate in the counting.
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// Confusion holds pairwise agreement counts between a Test clustering and
+// a Benchmark clustering.
+type Confusion struct {
+	TP, TN, FP, FN int64
+	N              int // sequences counted (present in both clusterings)
+}
+
+// Compare computes the confusion counts between test and bench labelings.
+// Labels are arbitrary non-negative integers; a negative label means the
+// sequence is not part of that clustering and excludes it from counting.
+// The slices must have equal length (one entry per sequence).
+func Compare(test, bench []int) (Confusion, error) {
+	if len(test) != len(bench) {
+		return Confusion{}, fmt.Errorf("quality: label slices differ in length: %d vs %d", len(test), len(bench))
+	}
+	// Consider only sequences clustered under both schemes.
+	type cell struct{ t, b int }
+	cells := map[cell]int64{}
+	tCount := map[int]int64{}
+	bCount := map[int]int64{}
+	var n int64
+	for i := range test {
+		if test[i] < 0 || bench[i] < 0 {
+			continue
+		}
+		n++
+		cells[cell{test[i], bench[i]}]++
+		tCount[test[i]]++
+		bCount[bench[i]]++
+	}
+	choose2 := func(x int64) int64 { return x * (x - 1) / 2 }
+	var tp int64
+	for _, c := range cells {
+		tp += choose2(c)
+	}
+	var sameT, sameB int64
+	for _, c := range tCount {
+		sameT += choose2(c)
+	}
+	for _, c := range bCount {
+		sameB += choose2(c)
+	}
+	fp := sameT - tp
+	fn := sameB - tp
+	tn := choose2(n) - tp - fp - fn
+	return Confusion{TP: tp, TN: tn, FP: fp, FN: fn, N: int(n)}, nil
+}
+
+// Precision is TP / (TP + FP) — Equation 1.
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+// Sensitivity is TP / (TP + FN) — Equation 2.
+func (c Confusion) Sensitivity() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// OverlapQuality is TP / (TP + FP + FN) — Equation 3.
+func (c Confusion) OverlapQuality() float64 { return ratio(c.TP, c.TP+c.FP+c.FN) }
+
+// CorrelationCoefficient is Equation 4 (the Matthews correlation over
+// pair counts).
+func (c Confusion) CorrelationCoefficient() float64 {
+	num := float64(c.TP)*float64(c.TN) - float64(c.FP)*float64(c.FN)
+	den := math.Sqrt(float64(c.TP+c.FP)) * math.Sqrt(float64(c.TN+c.FN)) *
+		math.Sqrt(float64(c.TP+c.FN)) * math.Sqrt(float64(c.TN+c.FP))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("PR=%.2f%% SE=%.2f%% OQ=%.2f%% CC=%.2f%% (TP=%d TN=%d FP=%d FN=%d over %d seqs)",
+		100*c.Precision(), 100*c.Sensitivity(), 100*c.OverlapQuality(),
+		100*c.CorrelationCoefficient(), c.TP, c.TN, c.FP, c.FN, c.N)
+}
+
+// LabelsFromClusters converts cluster member lists into a label slice of
+// length n; sequences in no cluster get -1.
+func LabelsFromClusters(clusters [][]int, n int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for li, members := range clusters {
+		for _, id := range members {
+			labels[id] = li
+		}
+	}
+	return labels
+}
+
+// LabelsFromInt32 widens an []int32 label slice (as produced by the pace
+// phases) to []int.
+func LabelsFromInt32(in []int32) []int {
+	out := make([]int, len(in))
+	for i, v := range in {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerfectAgreement(t *testing.T) {
+	test := []int{0, 0, 1, 1, 2}
+	c, err := Compare(test, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FP != 0 || c.FN != 0 {
+		t.Errorf("perfect agreement has FP=%d FN=%d", c.FP, c.FN)
+	}
+	if c.Precision() != 1 || c.Sensitivity() != 1 || c.OverlapQuality() != 1 {
+		t.Errorf("perfect agreement metrics: %s", c)
+	}
+	if cc := c.CorrelationCoefficient(); cc < 1-1e-9 || cc > 1+1e-9 {
+		t.Errorf("CC = %v, want 1", cc)
+	}
+}
+
+func TestKnownSmallCase(t *testing.T) {
+	// 4 sequences: test {0,1},{2,3}; bench {0,1,2},{3}.
+	test := []int{0, 0, 1, 1}
+	bench := []int{0, 0, 0, 1}
+	c, err := Compare(test, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: (0,1): together/together TP. (0,2),(1,2): apart/together FN.
+	// (2,3): together/apart FP. (0,3),(1,3): apart/apart TN.
+	if c.TP != 1 || c.FN != 2 || c.FP != 1 || c.TN != 2 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 {
+		t.Errorf("PR = %v", c.Precision())
+	}
+	if c.Sensitivity() != 1.0/3 {
+		t.Errorf("SE = %v", c.Sensitivity())
+	}
+	if c.OverlapQuality() != 0.25 {
+		t.Errorf("OQ = %v", c.OverlapQuality())
+	}
+}
+
+func TestExclusionOfUnclustered(t *testing.T) {
+	test := []int{0, 0, -1, 1}
+	bench := []int{0, 0, 0, -1}
+	c, err := Compare(test, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 2 {
+		t.Errorf("counted %d sequences, want 2", c.N)
+	}
+	if c.TP != 1 || c.FP+c.FN+c.TN != 0 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	if _, err := Compare([]int{0}, []int{0, 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// bruteCompare counts pairs directly.
+func bruteCompare(test, bench []int) Confusion {
+	var c Confusion
+	for i := range test {
+		if test[i] < 0 || bench[i] < 0 {
+			continue
+		}
+		c.N++
+	}
+	for i := range test {
+		if test[i] < 0 || bench[i] < 0 {
+			continue
+		}
+		for j := i + 1; j < len(test); j++ {
+			if test[j] < 0 || bench[j] < 0 {
+				continue
+			}
+			st := test[i] == test[j]
+			sb := bench[i] == bench[j]
+			switch {
+			case st && sb:
+				c.TP++
+			case st && !sb:
+				c.FP++
+			case !st && sb:
+				c.FN++
+			default:
+				c.TN++
+			}
+		}
+	}
+	return c
+}
+
+func TestAgainstBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		test := make([]int, n)
+		bench := make([]int, n)
+		for i := range test {
+			test[i] = rng.Intn(6) - 1
+			bench[i] = rng.Intn(6) - 1
+		}
+		got, err := Compare(test, bench)
+		if err != nil {
+			return false
+		}
+		want := bruteCompare(test, bench)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelsFromClusters(t *testing.T) {
+	labels := LabelsFromClusters([][]int{{0, 2}, {3}}, 5)
+	want := []int{0, -1, 0, 1, -1}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestLabelsFromInt32(t *testing.T) {
+	out := LabelsFromInt32([]int32{-1, 3, 7})
+	if out[0] != -1 || out[1] != 3 || out[2] != 7 {
+		t.Errorf("widened labels = %v", out)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := Confusion{TP: 1, TN: 1, FP: 1, FN: 1, N: 4}
+	if len(c.String()) == 0 {
+		t.Error("empty string")
+	}
+}

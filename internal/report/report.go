@@ -1,0 +1,132 @@
+// Package report renders pipeline results as human-readable text
+// reports: run summary, phase statistics, a family-size histogram, and
+// per-family sections with optional Figure-1-style multiple sequence
+// alignments. cmd/profam's -report flag is the main consumer.
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"profam"
+	"profam/internal/msa"
+	"profam/internal/seq"
+	"profam/internal/shingle"
+)
+
+// Options control report contents.
+type Options struct {
+	// MaxFamilies limits the per-family sections (default 20; 0 keeps
+	// the default, -1 means all).
+	MaxFamilies int
+	// MSA renders a star alignment for each reported family.
+	MSA bool
+	// MSAMaxMembers caps the members aligned per family (default 8).
+	MSAMaxMembers int
+	// HistogramWidth is the family-size bucket width (default 5).
+	HistogramWidth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFamilies == 0 {
+		o.MaxFamilies = 20
+	}
+	if o.MSAMaxMembers == 0 {
+		o.MSAMaxMembers = 8
+	}
+	if o.HistogramWidth == 0 {
+		o.HistogramWidth = 5
+	}
+	return o
+}
+
+// Text writes the report.
+func Text(w io.Writer, set *seq.Set, res *profam.Result, opts Options) error {
+	opts = opts.withDefaults()
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintln(bw, "PROTEIN FAMILY REPORT")
+	fmt.Fprintln(bw, strings.Repeat("=", 60))
+	fmt.Fprintf(bw, "input sequences        %8d\n", res.NumInput)
+	fmt.Fprintf(bw, "non-redundant          %8d (%.1f%%)\n",
+		res.NumNonRedundant, pct(res.NumNonRedundant, res.NumInput))
+	fmt.Fprintf(bw, "connected components   %8d\n", len(res.Components))
+	fmt.Fprintf(bw, "families               %8d covering %d sequences (%.1f%% of NR)\n",
+		len(res.Families), res.SeqsInFamilies(), pct(res.SeqsInFamilies(), res.NumNonRedundant))
+	fmt.Fprintf(bw, "largest family         %8d\n", res.LargestFamily())
+	fmt.Fprintf(bw, "mean density           %7.0f%%\n", 100*res.MeanFamilyDensity())
+
+	fmt.Fprintln(bw, "\nPHASES")
+	fmt.Fprintln(bw, strings.Repeat("-", 60))
+	fmt.Fprintf(bw, "RR : %d promising pairs, %d aligned (%.1f%% work reduction), %.1fs\n",
+		res.RR.PairsGenerated, res.RR.PairsAligned, 100*res.RR.WorkReduction(), res.RR.Time)
+	fmt.Fprintf(bw, "CCD: %d promising pairs, %d aligned, %d closure-skipped, %.1fs\n",
+		res.CCD.PairsGenerated, res.CCD.PairsAligned, res.CCD.PairsClosure, res.CCD.Time)
+	fmt.Fprintf(bw, "BGG: %.1fs   DSD: %.1fs\n", res.BGGTime, res.DSDTime)
+
+	if len(res.Families) > 0 {
+		fmt.Fprintln(bw, "\nFAMILY SIZE DISTRIBUTION")
+		fmt.Fprintln(bw, strings.Repeat("-", 60))
+		subs := make([]shingle.DenseSubgraph, 0, len(res.Families))
+		for _, f := range res.Families {
+			m := make([]int32, len(f.Members))
+			for i, id := range f.Members {
+				m[i] = int32(id)
+			}
+			subs = append(subs, shingle.DenseSubgraph{Members: m})
+		}
+		bounds, counts := shingle.SizeHistogram(subs, opts.HistogramWidth)
+		for i, b := range bounds {
+			fmt.Fprintf(bw, "%5d-%-5d %4d %s\n", b, b+opts.HistogramWidth-1,
+				counts[i], strings.Repeat("#", min(counts[i], 50)))
+		}
+	}
+
+	limit := opts.MaxFamilies
+	if limit < 0 || limit > len(res.Families) {
+		limit = len(res.Families)
+	}
+	for fi := 0; fi < limit; fi++ {
+		f := res.Families[fi]
+		fmt.Fprintf(bw, "\nFAMILY %d  (%d members, mean degree %.1f, density %.0f%%)\n",
+			fi, f.Size(), f.MeanDegree, 100*f.Density)
+		fmt.Fprintln(bw, strings.Repeat("-", 60))
+		for _, id := range f.Members {
+			fmt.Fprintf(bw, "  %s (%d aa)\n", set.Get(id).Name, set.Get(id).Len())
+		}
+		if opts.MSA {
+			members := f.Members
+			if len(members) > opts.MSAMaxMembers {
+				members = members[:opts.MSAMaxMembers]
+			}
+			aln, err := msa.Star(set, members, nil)
+			if err != nil {
+				return fmt.Errorf("report: family %d alignment: %w", fi, err)
+			}
+			fmt.Fprintln(bw)
+			if _, err := bw.WriteString(aln.Format(72)); err != nil {
+				return err
+			}
+		}
+	}
+	if limit < len(res.Families) {
+		fmt.Fprintf(bw, "\n(%d more families omitted)\n", len(res.Families)-limit)
+	}
+	return bw.Flush()
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"profam"
+	"profam/internal/workload"
+)
+
+func TestTextReport(t *testing.T) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 3, MeanFamilySize: 6, MeanLength: 80,
+		Divergence: 0.08, ContainedFrac: 0.1, Singletons: 2, Seed: 14,
+	})
+	res, _, err := profam.RunSet(set, 1, false, profam.Config{
+		Psi: 6, MinComponentSize: 3, MinFamilySize: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Text(&buf, set, res, Options{MSA: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"PROTEIN FAMILY REPORT",
+		"non-redundant",
+		"FAMILY SIZE DISTRIBUTION",
+		"FAMILY 0",
+		"work reduction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// MSA block contains gap-or-residue rows and conservation markers.
+	if !strings.Contains(out, "*") {
+		t.Error("report missing MSA conservation line")
+	}
+}
+
+func TestMaxFamiliesLimit(t *testing.T) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 4, MeanFamilySize: 6, MeanLength: 70,
+		Divergence: 0.08, ContainedFrac: 0.05, Singletons: 1, Seed: 19,
+	})
+	res, _, err := profam.RunSet(set, 1, false, profam.Config{
+		Psi: 6, MinComponentSize: 3, MinFamilySize: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Families) < 2 {
+		t.Skip("need >= 2 families for the limit test")
+	}
+	var buf bytes.Buffer
+	if err := Text(&buf, set, res, Options{MaxFamilies: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAMILY 0") {
+		t.Error("first family missing")
+	}
+	if strings.Contains(out, "FAMILY 1 ") {
+		t.Error("family limit not applied")
+	}
+	if !strings.Contains(out, "omitted") {
+		t.Error("omission note missing")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	set, _ := workload.Generate(workload.Params{
+		Families: 1, MeanFamilySize: 2, MeanLength: 30,
+		ContainedFrac: 0.01, Singletons: 1, Seed: 3,
+	})
+	res := &profam.Result{NumInput: set.Len(), NumNonRedundant: set.Len()}
+	var buf bytes.Buffer
+	if err := Text(&buf, set, res, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "families               ") {
+		t.Error("summary malformed for empty result")
+	}
+}

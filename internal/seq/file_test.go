@@ -1,0 +1,60 @@
+package seq
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadFASTAFileTestdata(t *testing.T) {
+	set, err := ReadFASTAFile(filepath.Join("testdata", "sample.fasta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 4 {
+		t.Fatalf("read %d records, want 4", set.Len())
+	}
+	if set.Get(0).Name != "orf00001 hypothetical protein, contig 12" {
+		t.Errorf("name = %q", set.Get(0).Name)
+	}
+	if set.Get(0).Len() != 83 {
+		t.Errorf("wrapped record length = %d, want 83", set.Get(0).Len())
+	}
+	if set.Get(3).Name != "orf00004" {
+		t.Errorf("bare header = %q", set.Get(3).Name)
+	}
+}
+
+func TestReadFASTAFileMissing(t *testing.T) {
+	if _, err := ReadFASTAFile(filepath.Join("testdata", "nope.fasta")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteFASTAFileRoundTrip(t *testing.T) {
+	set, err := ReadFASTAFile(filepath.Join("testdata", "sample.fasta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.fasta")
+	if err := WriteFASTAFile(path, set, 60); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTAFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != set.Len() {
+		t.Fatalf("round trip lost records")
+	}
+	for i := range set.Seqs {
+		if string(back.Get(i).Res) != string(set.Get(i).Res) {
+			t.Errorf("record %d changed", i)
+		}
+	}
+	// Write failure path: unwritable directory.
+	if err := WriteFASTAFile(filepath.Join(path, "x", "y.fasta"), set, 0); err == nil {
+		t.Error("writing under a file path should fail")
+	}
+	_ = os.Remove(path)
+}

@@ -1,0 +1,239 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodeLetterRoundTrip(t *testing.T) {
+	for i := 0; i < len(Residues); i++ {
+		r := Residues[i]
+		c := Code(r)
+		if c == 0 {
+			t.Fatalf("Code(%q) = 0, want nonzero", r)
+		}
+		if got := Letter(c); got != r {
+			t.Errorf("Letter(Code(%q)) = %q", r, got)
+		}
+		// Lower case maps to the same code.
+		if Code(r|0x20) != c {
+			t.Errorf("Code(lower %q) != Code(%q)", r|0x20, r)
+		}
+	}
+}
+
+func TestCodeInvalid(t *testing.T) {
+	for _, r := range []byte{'1', ' ', '*', '-', 'J', 'j', 0, '\n'} {
+		if Code(r) != 0 {
+			t.Errorf("Code(%q) = %d, want 0", r, Code(r))
+		}
+	}
+}
+
+func TestLetterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Letter(0) did not panic")
+		}
+	}()
+	Letter(0)
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"ACDEFG", true},
+		{"acdefg", true},
+		{"", false},
+		{"AC-DE", false},
+		{"ACJDE", false},
+		{"X", true},
+	}
+	for _, c := range cases {
+		if got := Valid(c.in); got != c.want {
+			t.Errorf("Valid(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClean(t *testing.T) {
+	if got := Clean("ac-De*"); got != "ACXDEX" {
+		t.Errorf("Clean = %q, want ACXDEX", got)
+	}
+}
+
+func TestSetAddAssignsSequentialIDs(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 5; i++ {
+		sq := s.MustAdd("n", "ACDEF")
+		if sq.ID != i {
+			t.Fatalf("ID = %d, want %d", sq.ID, i)
+		}
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSetAddRejectsInvalid(t *testing.T) {
+	s := NewSet()
+	if _, err := s.Add("bad", "AC DE"); err == nil {
+		t.Fatal("Add accepted invalid residues")
+	}
+	if _, err := s.Add("empty", ""); err == nil {
+		t.Fatal("Add accepted empty sequence")
+	}
+}
+
+func TestSetStats(t *testing.T) {
+	s := NewSet()
+	s.MustAdd("a", "ACDE")
+	s.MustAdd("b", "ACDEFG")
+	if got := s.TotalResidues(); got != 10 {
+		t.Errorf("TotalResidues = %d, want 10", got)
+	}
+	if got := s.MeanLength(); got != 5 {
+		t.Errorf("MeanLength = %v, want 5", got)
+	}
+	if got := NewSet().MeanLength(); got != 0 {
+		t.Errorf("empty MeanLength = %v, want 0", got)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	s := NewSet()
+	s.MustAdd("a", "AAAA")
+	s.MustAdd("b", "CCCC")
+	s.MustAdd("c", "DDDD")
+	sub, orig := s.Subset([]int{2, 0})
+	if sub.Len() != 2 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	if string(sub.Get(0).Res) != "DDDD" || string(sub.Get(1).Res) != "AAAA" {
+		t.Errorf("subset contents wrong: %v %v", sub.Get(0), sub.Get(1))
+	}
+	if orig[0] != 2 || orig[1] != 0 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+	if sub.Get(0).ID != 0 || sub.Get(1).ID != 1 {
+		t.Errorf("subset IDs not renumbered")
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	in := ">alpha desc here\nACDEFGHIKLMNPQRSTVWY\n>beta\nAAAA\nCCCC\n\n>gamma\nwwww\n"
+	set, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 3 {
+		t.Fatalf("parsed %d records, want 3", set.Len())
+	}
+	if set.Get(0).Name != "alpha desc here" {
+		t.Errorf("name = %q", set.Get(0).Name)
+	}
+	if string(set.Get(1).Res) != "AAAACCCC" {
+		t.Errorf("beta residues = %q", set.Get(1).Res)
+	}
+	if string(set.Get(2).Res) != "WWWW" {
+		t.Errorf("gamma residues not upper-cased: %q", set.Get(2).Res)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, set, 7); err != nil {
+		t.Fatal(err)
+	}
+	set2, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2.Len() != set.Len() {
+		t.Fatalf("round trip lost records: %d != %d", set2.Len(), set.Len())
+	}
+	for i := range set.Seqs {
+		if string(set.Get(i).Res) != string(set2.Get(i).Res) {
+			t.Errorf("record %d residues changed", i)
+		}
+		if set.Get(i).Name != set2.Get(i).Name {
+			t.Errorf("record %d name changed", i)
+		}
+	}
+}
+
+func TestFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACDE\n>x\nACDE\n")); err == nil {
+		t.Error("accepted residues before header")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">x\n>y\nACDE\n")); err == nil {
+		t.Error("accepted empty record")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">x\nACDE\n>y\n")); err == nil {
+		t.Error("accepted trailing empty record")
+	}
+}
+
+func TestFASTAUnnamedRecord(t *testing.T) {
+	set, err := ReadFASTA(strings.NewReader(">\nACDE\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Get(0).Name == "" {
+		t.Error("empty header not given a default name")
+	}
+}
+
+// Property: Clean always produces a Valid string of the same length for
+// nonempty input.
+func TestCleanProducesValid(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Avoid newline-ish bytes turning into something Valid rejects:
+		// Clean must handle arbitrary bytes anyway.
+		out := Clean(string(raw))
+		return len(out) == len(raw) && Valid(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FASTA write/read round trip preserves any set of valid
+// sequences.
+func TestFASTARoundTripProperty(t *testing.T) {
+	f := func(bodies [][]byte) bool {
+		set := NewSet()
+		for i, b := range bodies {
+			if len(b) == 0 {
+				b = []byte{0}
+			}
+			clean := Clean(string(b))
+			set.MustAdd(strings.TrimSpace("s"+string(rune('a'+i%26))), clean)
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, set, 11); err != nil {
+			return false
+		}
+		got, err := ReadFASTA(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != set.Len() {
+			return false
+		}
+		for i := range set.Seqs {
+			if string(got.Get(i).Res) != string(set.Get(i).Res) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

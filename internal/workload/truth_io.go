@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"profam/internal/seq"
+)
+
+// WriteTruth serialises ground truth as a tab-separated file
+// (name, family label, redundant flag), one row per sequence of set, in
+// sequence order. cmd/datagen uses it; ReadTruth inverts it.
+func WriteTruth(w io.Writer, set *seq.Set, t *Truth) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "#name\tfamily\tredundant"); err != nil {
+		return err
+	}
+	for i, s := range set.Seqs {
+		red := 0
+		if t.Redundant[i] {
+			red = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\n", s.Name, t.Label[i], red); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTruth parses a truth TSV and aligns it with set by sequence name.
+// Every sequence of set must appear in the file.
+func ReadTruth(r io.Reader, set *seq.Set) (*Truth, error) {
+	type row struct {
+		label     int
+		redundant bool
+	}
+	byName := map[string]row{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineno := 0
+	maxLabel := -1
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("workload: truth line %d: want 3 tab-separated fields, got %d", lineno, len(parts))
+		}
+		label, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: truth line %d: bad label %q", lineno, parts[1])
+		}
+		red, err := strconv.Atoi(parts[2])
+		if err != nil || (red != 0 && red != 1) {
+			return nil, fmt.Errorf("workload: truth line %d: bad redundant flag %q", lineno, parts[2])
+		}
+		byName[parts[0]] = row{label: label, redundant: red == 1}
+		if label > maxLabel {
+			maxLabel = label
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	t := &Truth{
+		Label:     make([]int, set.Len()),
+		Redundant: make([]bool, set.Len()),
+	}
+	for i, s := range set.Seqs {
+		r, ok := byName[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("workload: truth file missing sequence %q", s.Name)
+		}
+		t.Label[i] = r.label
+		t.Redundant[i] = r.redundant
+	}
+	// NumFamilies cannot be recovered exactly (singleton labels are
+	// indistinguishable from 1-member families); approximate with the
+	// count of labels holding ≥ 2 members.
+	counts := map[int]int{}
+	for _, l := range t.Label {
+		counts[l]++
+	}
+	for _, c := range counts {
+		if c >= 2 {
+			t.NumFamilies++
+		}
+	}
+	return t, nil
+}
+
+// ReadTruthFile reads a truth TSV from disk.
+func ReadTruthFile(path string, set *seq.Set) (*Truth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTruth(f, set)
+}

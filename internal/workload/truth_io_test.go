@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTruthRoundTrip(t *testing.T) {
+	set, truth := Generate(Params{Families: 3, MeanFamilySize: 5, ContainedFrac: 0.3, Seed: 77})
+	var buf bytes.Buffer
+	if err := WriteTruth(&buf, set, truth); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTruth(&buf, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Label {
+		if got.Label[i] != truth.Label[i] {
+			t.Fatalf("label %d: %d != %d", i, got.Label[i], truth.Label[i])
+		}
+		if got.Redundant[i] != truth.Redundant[i] {
+			t.Fatalf("redundant %d mismatch", i)
+		}
+	}
+	if got.NumFamilies == 0 {
+		t.Error("NumFamilies not recovered")
+	}
+}
+
+func TestReadTruthErrors(t *testing.T) {
+	set, truth := Generate(Params{Families: 2, MeanFamilySize: 3, Seed: 5})
+	_ = truth
+
+	// Missing sequence.
+	if _, err := ReadTruth(strings.NewReader("#h\nonly-one\t0\t0\n"), set); err == nil {
+		t.Error("missing sequences accepted")
+	}
+	// Malformed rows.
+	for _, bad := range []string{
+		"name-without-fields\n",
+		"a\tx\t0\n",
+		"a\t1\t7\n",
+		"a\t1\n",
+	} {
+		if _, err := ReadTruth(strings.NewReader(bad), set); err == nil {
+			t.Errorf("malformed row %q accepted", strings.TrimSpace(bad))
+		}
+	}
+}
+
+func TestReadTruthIgnoresCommentsAndBlanks(t *testing.T) {
+	set, truth := Generate(Params{Families: 2, MeanFamilySize: 3, ContainedFrac: 0.01, Seed: 8})
+	var buf bytes.Buffer
+	buf.WriteString("# leading comment\n\n")
+	if err := WriteTruth(&buf, set, truth); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n# trailing comment\n")
+	if _, err := ReadTruth(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+}

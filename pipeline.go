@@ -1,0 +1,190 @@
+package profam
+
+import (
+	"profam/internal/bipartite"
+	"profam/internal/mpi"
+	"profam/internal/pace"
+	"profam/internal/seq"
+	"profam/internal/shingle"
+)
+
+// secPerShingleOp is the virtual cost of one min-hash evaluation in the
+// dense-subgraph phase (same calibration family as pace.CostParams).
+const secPerShingleOp = 2.0e-8
+
+// wireFamily is the gob-friendly family representation exchanged between
+// ranks.
+type wireFamily struct {
+	Members    []int32
+	MeanDegree float64
+	Density    float64
+}
+
+// WireSize implements mpi.Sized for the simtime cost model.
+func (w wireFamily) WireSize() int { return 24 + 4*len(w.Members) }
+
+type familyBatch struct{ Families []wireFamily }
+
+func (b familyBatch) WireSize() int {
+	n := 16
+	for _, f := range b.Families {
+		n += f.WireSize()
+	}
+	return n
+}
+
+// RegisterWireTypes registers all pipeline payloads with the TCP
+// transport. Callers using DialMesh/RunTCP across processes must invoke
+// it on every rank; the in-process and simulated transports don't need
+// it.
+func RegisterWireTypes() {
+	pace.RegisterWireTypes()
+	mpi.RegisterType(familyBatch{})
+}
+
+// runPipeline executes all four phases collectively on c. Every rank
+// returns the same *Result.
+func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	pcfg := cfg.paceConfig()
+
+	res := &Result{NumInput: set.Len()}
+
+	// Phase 1: redundancy removal.
+	keep, rrStats, err := pace.RedundancyRemoval(c, set, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Keep = keep
+	res.RR = fromPace(rrStats)
+	for _, k := range keep {
+		if k {
+			res.NumNonRedundant++
+		}
+	}
+
+	// Phase 2: connected components over the non-redundant set.
+	comp, ccStats, err := pace.ConnectedComponents(c, set, keep, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	res.CCD = fromPace(ccStats)
+	res.Components = pace.ComponentsBySize(comp, cfg.MinComponentSize)
+
+	// Phases 3+4: per component, build the bipartite reduction and run
+	// the Shingle algorithm. Components are distributed across all ranks
+	// (batched by estimated cost), processed independently — no
+	// communication until the final gather, exactly as the paper argues
+	// dense subgraphs cannot span components.
+	own := bipartite.DistributeComponents(res.Components, c.Size())
+	bcfg := cfg.bipartiteConfig()
+	sp := cfg.shingleParams()
+
+	var local []wireFamily
+	var bggTime, dsdTime float64
+	for _, ci := range own[c.Rank()] {
+		members := res.Components[ci]
+		t0 := c.Time()
+		var g *bipartite.Graph
+		switch cfg.Reduction {
+		case DomainBased:
+			var err error
+			g, err = bipartite.BuildBm(set, members, bcfg)
+			if err != nil {
+				return nil, err
+			}
+			// Word extraction scans each member sequence once.
+			var chars int64
+			for _, id := range members {
+				chars += int64(set.Get(id).Len())
+			}
+			c.Advance(float64(chars) * pace.DefaultCostParams().SecPerTreeChar)
+		default:
+			var st bipartite.BuildStats
+			var err error
+			g, st, err = bipartite.BuildBd(set, members, bcfg)
+			if err != nil {
+				return nil, err
+			}
+			costs := pace.DefaultCostParams()
+			c.Advance(float64(st.Cells)*costs.SecPerCell + float64(st.PairsAligned)*costs.SecPerPairGen)
+		}
+		t1 := c.Time()
+
+		subs, st := shingle.Detect(g, sp)
+		c.Advance(float64(st.WorkOps) * secPerShingleOp)
+		t2 := c.Time()
+		bggTime += t1 - t0
+		dsdTime += t2 - t1
+
+		for _, d := range subs {
+			local = append(local, wireFamily{
+				Members:    d.Members,
+				MeanDegree: d.MeanDegree,
+				Density:    d.Density,
+			})
+		}
+	}
+
+	// Gather families at rank 0, then share the final list.
+	gathered := c.Gather(0, familyBatch{Families: local})
+	var all []wireFamily
+	if c.Rank() == 0 {
+		for _, g := range gathered {
+			all = append(all, g.(familyBatch).Families...)
+		}
+	}
+	all = c.Bcast(0, familyBatch{Families: all}).(familyBatch).Families
+
+	res.Families = make([]Family, 0, len(all))
+	for _, w := range all {
+		f := Family{
+			Members:    make([]int, len(w.Members)),
+			MeanDegree: w.MeanDegree,
+			Density:    w.Density,
+		}
+		for i, id := range w.Members {
+			f.Members[i] = int(id)
+		}
+		res.Families = append(res.Families, f)
+	}
+	sortFamilies(res.Families)
+
+	res.BGGTime = c.MaxFloat64(bggTime)
+	res.DSDTime = c.MaxFloat64(dsdTime)
+	return res, nil
+}
+
+// RunPipelineOn executes the pipeline collectively on an existing
+// communicator — for callers managing their own transports, such as a
+// TCP mesh spanning several processes (see mpi.DialMesh). Every rank
+// must call it with the same sequence set and configuration; every rank
+// returns the same result.
+func RunPipelineOn(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
+	return runPipeline(c, set, cfg)
+}
+
+// RunSet is the entry point for in-module tools and benchmarks that
+// already hold a seq.Set: it runs the pipeline on p simulated ranks when
+// simulate is true, or on p concurrent ranks otherwise (p = 1 means
+// serial), returning the rank-0 result and the makespan in seconds
+// (virtual when simulated, wall-clock otherwise).
+func RunSet(set *seq.Set, p int, simulate bool, cfg Config) (*Result, float64, error) {
+	if simulate {
+		return simulateSet(set, p, cfg)
+	}
+	var res *Result
+	var rerr error
+	var span float64
+	err := mpi.Run(p, func(c *mpi.Comm) {
+		r, e := runPipeline(c, set, cfg)
+		t := c.MaxFloat64(c.Time())
+		if c.Rank() == 0 {
+			res, rerr, span = r, e, t
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, span, rerr
+}

@@ -1,0 +1,439 @@
+// Package profam identifies protein families in large collections of
+// amino-acid (ORF) sequences, reproducing the parallel approach of
+// Wu & Kalyanaraman, "An Efficient Parallel Approach for Identifying
+// Protein Families in Large-scale Metagenomic Data Sets" (SC 2008).
+//
+// The pipeline has four phases:
+//
+//  1. Redundancy removal — sequences ≥95 % contained in another sequence
+//     are dropped, using a generalized-suffix-tree maximal-match filter
+//     so that only promising pairs are ever aligned.
+//  2. Connected-component detection — PaCE-style master–worker
+//     clustering with union–find transitive-closure work elimination.
+//  3. Bipartite graph generation — each component is reduced to a
+//     bipartite graph, either by vertex duplication (global-similarity
+//     families) or via shared fixed-length words (domain families).
+//  4. Dense-subgraph detection — the two-pass Shingle algorithm (Gibson
+//     et al., VLDB 2005) with min-wise independent permutations extracts
+//     arbitrarily-sized dense subgraphs: the protein families.
+//
+// Entry points: Run (serial), RunParallel (goroutine ranks over in-memory
+// message passing), and RunSimulated (deterministic virtual-time
+// simulation of a distributed-memory machine, for scaling studies on a
+// single host).
+package profam
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"profam/internal/align"
+	"profam/internal/bipartite"
+	"profam/internal/mpi"
+	"profam/internal/pace"
+	"profam/internal/seq"
+	"profam/internal/shingle"
+)
+
+// Reduction selects the bipartite-graph reduction of phase 3.
+type Reduction int
+
+const (
+	// GlobalSimilarity is the paper's B_d reduction: families are sets
+	// of sequences with strong full-length pairwise similarity.
+	GlobalSimilarity Reduction = iota
+	// DomainBased is the paper's B_m reduction: families share
+	// substantial numbers of exact fixed-length words (domains).
+	DomainBased
+)
+
+func (r Reduction) String() string {
+	if r == GlobalSimilarity {
+		return "global-similarity"
+	}
+	return "domain-based"
+}
+
+// Config holds every user-visible knob, with the paper's defaults.
+// The zero value is ready to use.
+type Config struct {
+	// Psi (ψ) is the minimum maximal exact-match length that makes a
+	// sequence pair "promising" (default 8).
+	Psi int
+
+	// Redundancy removal (Definition 1) thresholds.
+	ContainIdentity float64 // default 0.95
+	ContainCoverage float64 // default 0.95
+
+	// Overlap (Definition 2) thresholds for component detection.
+	OverlapSimilarity float64 // default 0.30
+	OverlapCoverage   float64 // default 0.80
+
+	// EdgeSimilarity is the similarity cutoff for bipartite-graph edges
+	// (defaults to OverlapSimilarity).
+	EdgeSimilarity float64
+
+	// Reduction selects B_d (GlobalSimilarity) or B_m (DomainBased).
+	Reduction Reduction
+	// W is the word length for the domain-based reduction (default 10).
+	W int
+
+	// Shingle parameters (defaults (5,300) and (5,100), per the paper's
+	// fine-tuned setting).
+	S1, C1, S2, C2 int
+	// Tau is the |A∩B|/|A∪B| post-test for global-similarity families
+	// (default 0.5).
+	Tau float64
+
+	// MinComponentSize skips smaller connected components (paper
+	// reports components of 5+; default 5).
+	MinComponentSize int
+	// MinFamilySize drops smaller dense subgraphs (default 5).
+	MinFamilySize int
+
+	// Seed drives the min-wise permutation family (default fixed).
+	Seed int64
+
+	// BatchPairs/BatchTasks tune the master–worker exchange granularity.
+	BatchPairs, BatchTasks int
+
+	// UseESA switches the maximal-match index from the generalized
+	// suffix tree to the enhanced suffix array (same pair set, flatter
+	// memory profile).
+	UseESA bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Psi == 0 {
+		c.Psi = 8
+	}
+	if c.ContainIdentity == 0 {
+		c.ContainIdentity = 0.95
+	}
+	if c.ContainCoverage == 0 {
+		c.ContainCoverage = 0.95
+	}
+	if c.OverlapSimilarity == 0 {
+		c.OverlapSimilarity = 0.30
+	}
+	if c.OverlapCoverage == 0 {
+		c.OverlapCoverage = 0.80
+	}
+	if c.EdgeSimilarity == 0 {
+		c.EdgeSimilarity = c.OverlapSimilarity
+	}
+	if c.W == 0 {
+		c.W = 10
+	}
+	if c.S1 == 0 {
+		c.S1 = 5
+	}
+	if c.C1 == 0 {
+		c.C1 = 300
+	}
+	if c.S2 == 0 {
+		c.S2 = 5
+	}
+	if c.C2 == 0 {
+		c.C2 = 100
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.5
+	}
+	if c.MinComponentSize == 0 {
+		c.MinComponentSize = 5
+	}
+	if c.MinFamilySize == 0 {
+		c.MinFamilySize = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 20081117
+	}
+	return c
+}
+
+func (c Config) paceConfig() pace.Config {
+	idx := pace.IndexGST
+	if c.UseESA {
+		idx = pace.IndexESA
+	}
+	return pace.Config{
+		Psi:        c.Psi,
+		Index:      idx,
+		BatchPairs: c.BatchPairs,
+		BatchTasks: c.BatchTasks,
+		Contain:    align.ContainParams{MinIdentity: c.ContainIdentity, MinCoverage: c.ContainCoverage},
+		Overlap:    align.OverlapParams{MinSimilarity: c.OverlapSimilarity, MinLongCoverage: c.OverlapCoverage},
+	}
+}
+
+func (c Config) bipartiteConfig() bipartite.Config {
+	return bipartite.Config{
+		Psi:  c.Psi,
+		Edge: align.OverlapParams{MinSimilarity: c.EdgeSimilarity, MinLongCoverage: c.OverlapCoverage},
+		W:    c.W,
+	}
+}
+
+func (c Config) shingleParams() shingle.Params {
+	return shingle.Params{
+		S1: c.S1, C1: c.C1, S2: c.S2, C2: c.C2,
+		Tau: c.Tau, MinSize: c.MinFamilySize, Seed: c.Seed,
+	}
+}
+
+// Family is one detected protein family.
+type Family struct {
+	// Members are sequence indices into the input, sorted ascending.
+	Members []int
+	// MeanDegree and Density describe the similarity subgraph induced by
+	// the family (global-similarity reduction only): Density is the
+	// paper's mean-degree/(size-1) measure.
+	MeanDegree float64
+	Density    float64
+}
+
+// Size returns the number of member sequences.
+func (f Family) Size() int { return len(f.Members) }
+
+// PhaseStats mirrors the master–worker phase counters.
+type PhaseStats struct {
+	PairsRaw       int64
+	PairsGenerated int64
+	PairsDuplicate int64
+	PairsClosure   int64
+	PairsAligned   int64
+	PairsPositive  int64
+	Cells          int64
+	Time           float64 // seconds (virtual under RunSimulated)
+}
+
+// WorkReduction is the fraction of generated promising pairs that never
+// required an alignment.
+func (s PhaseStats) WorkReduction() float64 {
+	if s.PairsGenerated == 0 {
+		return 0
+	}
+	return 1 - float64(s.PairsAligned)/float64(s.PairsGenerated)
+}
+
+func fromPace(st pace.Stats) PhaseStats {
+	return PhaseStats{
+		PairsRaw:       st.PairsRaw,
+		PairsGenerated: st.PairsGenerated,
+		PairsDuplicate: st.PairsDuplicate,
+		PairsClosure:   st.PairsClosure,
+		PairsAligned:   st.PairsAligned,
+		PairsPositive:  st.PairsPositive,
+		Cells:          st.Cells,
+		Time:           st.PhaseTime,
+	}
+}
+
+// Result is the pipeline's complete output.
+type Result struct {
+	// Input and non-redundant sequence counts.
+	NumInput, NumNonRedundant int
+	// Keep[i] reports whether input sequence i survived redundancy
+	// removal.
+	Keep []bool
+	// Components lists the connected components of size ≥
+	// MinComponentSize, largest first.
+	Components [][]int
+	// Families are the dense subgraphs, largest first.
+	Families []Family
+
+	RR  PhaseStats // redundancy removal
+	CCD PhaseStats // connected-component detection
+	// BGGTime and DSDTime are the bipartite-generation and
+	// dense-subgraph phase times in seconds.
+	BGGTime, DSDTime float64
+}
+
+// SeqsInFamilies returns the number of sequences covered by families.
+func (r *Result) SeqsInFamilies() int {
+	n := 0
+	for _, f := range r.Families {
+		n += len(f.Members)
+	}
+	return n
+}
+
+// MeanFamilyDegree averages MeanDegree over families (Table I's "mean
+// degree" column).
+func (r *Result) MeanFamilyDegree() float64 {
+	if len(r.Families) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Families {
+		s += f.MeanDegree
+	}
+	return s / float64(len(r.Families))
+}
+
+// MeanFamilyDensity averages Density over families.
+func (r *Result) MeanFamilyDensity() float64 {
+	if len(r.Families) == 0 {
+		return 0
+	}
+	var s float64
+	for _, f := range r.Families {
+		s += f.Density
+	}
+	return s / float64(len(r.Families))
+}
+
+// LargestFamily returns the size of the largest family (0 if none).
+func (r *Result) LargestFamily() int {
+	if len(r.Families) == 0 {
+		return 0
+	}
+	return len(r.Families[0].Members)
+}
+
+// Summary renders the Table I row for this result.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("#input=%d #NR=%d #CC=%d #DS=%d #seqInDS=%d meanDeg=%.0f meanDensity=%.0f%% largestDS=%d",
+		r.NumInput, r.NumNonRedundant, len(r.Components), len(r.Families),
+		r.SeqsInFamilies(), r.MeanFamilyDegree(), 100*r.MeanFamilyDensity(), r.LargestFamily())
+}
+
+// FamilyLabels returns a per-sequence family label (-1 when the sequence
+// is in no family), for quality comparisons.
+func (r *Result) FamilyLabels() []int {
+	labels := make([]int, r.NumInput)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for fi, f := range r.Families {
+		for _, id := range f.Members {
+			labels[id] = fi
+		}
+	}
+	return labels
+}
+
+// --- input helpers ------------------------------------------------------
+
+func setFromStrings(names, seqs []string) (*seq.Set, error) {
+	if len(names) != len(seqs) {
+		return nil, fmt.Errorf("profam: %d names but %d sequences", len(names), len(seqs))
+	}
+	set := seq.NewSet()
+	for i := range seqs {
+		name := names[i]
+		if name == "" {
+			name = fmt.Sprintf("seq%d", i)
+		}
+		if _, err := set.Add(name, seqs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// --- entry points ---------------------------------------------------------
+
+// Run executes the whole pipeline serially on the given sequences.
+// names may be nil (sequences are then named seq0, seq1, …).
+func Run(names, seqs []string, cfg Config) (*Result, error) {
+	if names == nil {
+		names = make([]string, len(seqs))
+	}
+	set, err := setFromStrings(names, seqs)
+	if err != nil {
+		return nil, err
+	}
+	return runSet(set, cfg)
+}
+
+// RunFASTA executes the pipeline serially on FASTA input.
+func RunFASTA(r io.Reader, cfg Config) (*Result, error) {
+	set, err := seq.ReadFASTA(r)
+	if err != nil {
+		return nil, err
+	}
+	return runSet(set, cfg)
+}
+
+func runSet(set *seq.Set, cfg Config) (*Result, error) {
+	var res *Result
+	var rerr error
+	err := mpi.Run(1, func(c *mpi.Comm) {
+		res, rerr = runPipeline(c, set, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, rerr
+}
+
+// RunParallel executes the pipeline on p concurrent ranks (goroutines
+// exchanging in-memory messages). Results are identical to Run up to the
+// documented ordering effects of dynamic work distribution.
+func RunParallel(p int, names, seqs []string, cfg Config) (*Result, error) {
+	if names == nil {
+		names = make([]string, len(seqs))
+	}
+	set, err := setFromStrings(names, seqs)
+	if err != nil {
+		return nil, err
+	}
+	var res *Result
+	var rerr error
+	err = mpi.Run(p, func(c *mpi.Comm) {
+		r, e := runPipeline(c, set, cfg)
+		if c.Rank() == 0 {
+			res, rerr = r, e
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, rerr
+}
+
+// RunSimulated executes the pipeline on p simulated ranks of a
+// distributed-memory machine with BlueGene/L-like communication costs and
+// returns the result together with the virtual makespan in seconds. This
+// is the engine behind the scaling experiments.
+func RunSimulated(p int, names, seqs []string, cfg Config) (*Result, float64, error) {
+	if names == nil {
+		names = make([]string, len(seqs))
+	}
+	set, err := setFromStrings(names, seqs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return simulateSet(set, p, cfg)
+}
+
+func simulateSet(set *seq.Set, p int, cfg Config) (*Result, float64, error) {
+	var res *Result
+	var rerr error
+	makespan, err := mpi.RunSim(p, mpi.BlueGeneLike(), func(c *mpi.Comm) {
+		r, e := runPipeline(c, set, cfg)
+		if c.Rank() == 0 {
+			res, rerr = r, e
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, makespan, rerr
+}
+
+// sortFamilies orders families largest-first with deterministic ties.
+func sortFamilies(fams []Family) {
+	sort.Slice(fams, func(i, j int) bool {
+		if len(fams[i].Members) != len(fams[j].Members) {
+			return len(fams[i].Members) > len(fams[j].Members)
+		}
+		if len(fams[i].Members) == 0 {
+			return false
+		}
+		return fams[i].Members[0] < fams[j].Members[0]
+	})
+}
