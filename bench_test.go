@@ -270,6 +270,56 @@ func BenchmarkEndToEnd(b *testing.B) {
 	}
 }
 
+// --- hybrid rank×thread execution ----------------------------------------
+
+// BenchmarkAlignBatchParallel measures the worker-side batch-alignment
+// kernel (pooled goroutines + recycled aligners) at 1, 2, 4 and NumCPU
+// threads per rank. The cells metric is a work checksum: identical
+// across thread counts by construction.
+func BenchmarkAlignBatchParallel(b *testing.B) {
+	set, _ := experiments.SetOfSize(120, 31)
+	pairs := experiments.BenchPairs(set, 2048)
+	for _, th := range experiments.ThreadCounts() {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			var cells int64
+			for i := 0; i < b.N; i++ {
+				cells = experiments.AlignBatchKernel(set, pairs, th)
+			}
+			b.ReportMetric(float64(cells), "cells")
+		})
+	}
+}
+
+// BenchmarkPipelineThreads runs the full wall-clock pipeline on two
+// in-process ranks while sweeping ThreadsPerRank, checking that the
+// family list is invariant and reporting the family count.
+func BenchmarkPipelineThreads(b *testing.B) {
+	set, _ := experiments.SetOfSize(300, 47)
+	var base string
+	for _, th := range experiments.ThreadCounts() {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			cfg := experiments.PipelineConfig()
+			cfg.ThreadsPerRank = th
+			var fams int
+			for i := 0; i < b.N; i++ {
+				res, _, err := profam.RunSet(set, 2, false, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fams = len(res.Families)
+				if i == 0 {
+					if s := fmt.Sprint(res.Families); base == "" {
+						base = s
+					} else if s != base {
+						b.Fatal("families differ across thread counts")
+					}
+				}
+			}
+			b.ReportMetric(float64(fams), "families")
+		})
+	}
+}
+
 // BenchmarkQualityMetrics measures the pairwise confusion computation on
 // large labelings (pure counting cost).
 func BenchmarkQualityMetrics(b *testing.B) {

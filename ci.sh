@@ -1,0 +1,32 @@
+#!/bin/sh
+# ci.sh — the repo's verification gate.
+#
+#   ./ci.sh          vet + build + tests + race-detector pass
+#   ./ci.sh bench    additionally regenerate BENCH_results.json
+#
+# The race pass matters: the hybrid rank×thread execution model runs
+# alignment batches, index construction and phase 3+4 component jobs on
+# goroutine pools inside every rank, across the inproc and TCP
+# transports (see TestThreadsPerRankDeterminism / TestThreadsTCPTransport).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "${1:-}" = "bench" ]; then
+	echo "== benchmarks -> BENCH_results.json =="
+	go run ./cmd/benchjson -out BENCH_results.json
+fi
+
+echo "ci.sh: all checks passed"

@@ -1,0 +1,94 @@
+// Command benchjson runs the hybrid-parallelism benchmarks
+// (batch-alignment kernel and full pipeline, at 1..NumCPU threads per
+// rank) through testing.Benchmark and writes the ns/op results to a
+// JSON file, giving future changes a machine-readable perf trajectory
+// to compare against.
+//
+// Example:
+//
+//	benchjson -out BENCH_results.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"profam"
+	"profam/internal/experiments"
+)
+
+// fileFormat is the BENCH_results.json schema.
+type fileFormat struct {
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	NumCPU     int                `json:"num_cpu"`
+	Benchmarks map[string]float64 `json:"benchmarks_ns_per_op"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	testing.Init() // register the test.* flags testing.Benchmark consults
+	out := flag.String("out", "BENCH_results.json", "output JSON file")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	flag.Parse()
+
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		log.Fatal(err)
+	}
+
+	results := map[string]float64{}
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results[name] = float64(r.NsPerOp())
+		log.Printf("%-40s %12d ns/op  (%d iters)", name, r.NsPerOp(), r.N)
+	}
+
+	alignSet, _ := experiments.SetOfSize(120, 31)
+	pairs := experiments.BenchPairs(alignSet, 2048)
+	pipeSet, _ := experiments.SetOfSize(300, 47)
+
+	for _, th := range experiments.ThreadCounts() {
+		th := th
+		record(fmt.Sprintf("AlignBatchParallel/threads=%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.AlignBatchKernel(alignSet, pairs, th)
+			}
+		})
+		record(fmt.Sprintf("PipelineThreads/threads=%d", th), func(b *testing.B) {
+			cfg := experiments.PipelineConfig()
+			cfg.ThreadsPerRank = th
+			for i := 0; i < b.N; i++ {
+				if _, _, err := profam.RunSet(pipeSet, 2, false, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	payload := fileFormat{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: results,
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -6,6 +6,13 @@
 //	profam -in orfs.fasta -p 8 -out families.txt
 //	profam -in orfs.fasta -p 128 -sim            # virtual-time scaling run
 //	profam -in orfs.fasta -reduction domain      # B_m domain families
+//	profam -in orfs.fasta -p 2 -threads 4        # hybrid: 2 ranks × 4 goroutines
+//
+// Hybrid execution: -threads bounds the goroutine pool each rank uses
+// for alignment batches, index construction and per-component phase 3+4
+// jobs. 0 (the default) picks max(1, NumCPU/p) for wall-clock runs and
+// keeps simulated ranks single-threaded; the family output is identical
+// for every value.
 package main
 
 import (
@@ -87,6 +94,8 @@ func main() {
 	flag.IntVar(&cfg.MinComponentSize, "min-component", 5, "minimum connected component size")
 	flag.IntVar(&cfg.MinFamilySize, "min-family", 5, "minimum dense subgraph size")
 	flag.Int64Var(&cfg.Seed, "seed", 0, "shingle permutation seed (0 = default)")
+	flag.IntVar(&cfg.ThreadsPerRank, "threads", 0,
+		"goroutines per rank for alignment/index/component work (0 = auto: max(1, NumCPU/p); simulated runs default to 1)")
 	flag.Parse()
 
 	if *in == "" {

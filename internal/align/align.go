@@ -151,14 +151,25 @@ func NewAligner(sc *Scoring) *Aligner {
 // Scoring returns the scheme the aligner was built with.
 func (al *Aligner) Scoring() *Scoring { return al.sc }
 
+// geomCap grows capacities geometrically (1.5×) so a stream of
+// slightly-longer inputs costs O(log) reallocations instead of one per
+// call.
+func geomCap(need, have int) int {
+	if g := have + have/2; g > need {
+		return g
+	}
+	return need
+}
+
 func (al *Aligner) grow(n, m int) {
 	if cap(al.m0) < m+1 {
-		al.m0 = make([]int32, m+1)
-		al.m1 = make([]int32, m+1)
-		al.x0 = make([]int32, m+1)
-		al.x1 = make([]int32, m+1)
-		al.y0 = make([]int32, m+1)
-		al.y1 = make([]int32, m+1)
+		c := geomCap(m+1, cap(al.m0))
+		al.m0 = make([]int32, c)
+		al.m1 = make([]int32, c)
+		al.x0 = make([]int32, c)
+		al.x1 = make([]int32, c)
+		al.y0 = make([]int32, c)
+		al.y1 = make([]int32, c)
 	}
 	al.m0 = al.m0[:m+1]
 	al.m1 = al.m1[:m+1]
@@ -168,7 +179,7 @@ func (al *Aligner) grow(n, m int) {
 	al.y1 = al.y1[:m+1]
 	need := (n + 1) * (m + 1)
 	if cap(al.trace) < need {
-		al.trace = make([]byte, need)
+		al.trace = make([]byte, geomCap(need, cap(al.trace)))
 	}
 	al.trace = al.trace[:need]
 	al.stride = m + 1

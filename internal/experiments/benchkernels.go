@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"profam/internal/align"
+	"profam/internal/pool"
+	"profam/internal/seq"
+)
+
+// BenchPairs returns a deterministic all-vs-all pair list over the set,
+// truncated to maxPairs, for the batch-alignment benchmarks.
+func BenchPairs(set *seq.Set, maxPairs int) [][2]int {
+	var pairs [][2]int
+	n := set.Len()
+	for i := 0; i < n && len(pairs) < maxPairs; i++ {
+		for j := i + 1; j < n && len(pairs) < maxPairs; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return pairs
+}
+
+// AlignBatchKernel is the worker-side hot path of the hybrid execution
+// model in isolation: align one task batch on a bounded goroutine pool,
+// each chunk with a recycled aligner. It returns the total DP cells (a
+// work checksum, identical for every thread count).
+func AlignBatchKernel(set *seq.Set, pairs [][2]int, threads int) int64 {
+	cache := pool.NewAlignerCache(nil)
+	params := align.DefaultOverlapParams()
+	var cells atomic.Int64
+	pool.RunChunked(threads, len(pairs), func(lo, hi int) {
+		al := cache.Get()
+		before := al.Cells
+		for i := lo; i < hi; i++ {
+			a, b := set.Get(pairs[i][0]), set.Get(pairs[i][1])
+			al.Overlaps(a.Res, b.Res, params)
+		}
+		cells.Add(al.Cells - before)
+		cache.Put(al)
+	})
+	return cells.Load()
+}
+
+// ThreadCounts returns the deduplicated ascending benchmark ladder
+// {1, 2, 4, NumCPU} for threads-per-rank sweeps.
+func ThreadCounts() []int {
+	counts := []int{1, 2, 4, pool.DefaultThreads(1)}
+	sort.Ints(counts)
+	out := counts[:1]
+	for _, c := range counts[1:] {
+		if c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

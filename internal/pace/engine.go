@@ -7,6 +7,7 @@ import (
 	"profam/internal/align"
 	"profam/internal/esa"
 	"profam/internal/mpi"
+	"profam/internal/pool"
 	"profam/internal/seq"
 	"profam/internal/suffixtree"
 	"profam/internal/unionfind"
@@ -74,24 +75,30 @@ func (s *pairSource) next(k int) ([]PairItem, bool) {
 
 // buildTrees constructs the per-bucket indexes owned by this rank (GST
 // or ESA per cfg.Index), charging construction work to the virtual
-// clock.
+// clock. Buckets are independent, so they build on the rank's goroutine
+// pool; the result slice is indexed by bucket position, keeping the
+// tree order — and therefore the pair stream — identical for every
+// thread count.
 func buildTrees(c *mpi.Comm, set *seq.Set, bucketIdx []int, buckets []suffixtree.Bucket, cfg Config) ([]*suffixtree.SubTree, error) {
 	opt := suffixtree.Options{MinMatch: cfg.Psi, PrefixLen: cfg.PrefixLen}
 	build := suffixtree.BuildBucket
 	if cfg.Index == IndexESA {
 		build = esa.BuildBucket
 	}
-	trees := make([]*suffixtree.SubTree, 0, len(bucketIdx))
+	threads := max(1, cfg.Threads)
+	trees := make([]*suffixtree.SubTree, len(bucketIdx))
+	errs := make([]error, len(bucketIdx))
+	pool.Run(threads, len(bucketIdx), func(i int) {
+		trees[i], errs[i] = build(set, buckets[bucketIdx[i]], opt)
+	})
 	var weight int64
-	for _, bi := range bucketIdx {
-		t, err := build(set, buckets[bi], opt)
+	for i, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		weight += buckets[bi].Weight
-		trees = append(trees, t)
+		weight += buckets[bucketIdx[i]].Weight
 	}
-	c.Advance(float64(weight) * cfg.Costs.SecPerTreeChar)
+	c.Advance(float64(pool.CeilDiv(weight, threads)) * cfg.Costs.SecPerTreeChar)
 	return trees, nil
 }
 
@@ -212,9 +219,37 @@ func runMaster(c *mpi.Comm, ms *masterState) {
 	}
 }
 
+// alignBatch computes the outcomes for one assigned task batch on the
+// rank's goroutine pool. Outcomes land at the same index as their task,
+// so the result order — and everything the master derives from it — is
+// identical for every thread count. Each chunk checks an aligner out of
+// the cache, recycling DP row and trace buffers across chunks and
+// rounds. The summed DP cells are returned so the caller can charge the
+// virtual clock ceil(cells/threads), the perfect-speedup model.
+func alignBatch(cache *pool.AlignerCache, threads int, set *seq.Set, wl workerLogic, tasks []PairItem, out []AlignOutcome) ([]AlignOutcome, int64) {
+	if cap(out) < len(tasks) {
+		out = make([]AlignOutcome, len(tasks))
+	} else {
+		out = out[:len(tasks)]
+	}
+	pool.RunChunked(threads, len(tasks), func(lo, hi int) {
+		al := cache.Get()
+		for i := lo; i < hi; i++ {
+			out[i] = wl.alignPair(al, set, tasks[i])
+		}
+		cache.Put(al)
+	})
+	var cells int64
+	for i := range out {
+		cells += out[i].Cells
+	}
+	return out, cells
+}
+
 // runWorker drives the lockstep worker loop on ranks 1..p-1.
 func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg Config) {
-	al := align.NewAligner(cfg.Scoring)
+	threads := max(1, cfg.Threads)
+	cache := pool.NewAlignerCache(cfg.Scoring)
 	var results []AlignOutcome
 	exhausted := false
 	for {
@@ -228,12 +263,9 @@ func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg C
 		if msg.Done {
 			return
 		}
-		results = results[:0]
-		for _, t := range msg.Tasks {
-			out := wl.alignPair(al, set, t)
-			c.Advance(float64(out.Cells) * cfg.Costs.SecPerCell)
-			results = append(results, out)
-		}
+		var cells int64
+		results, cells = alignBatch(cache, threads, set, wl, msg.Tasks, results)
+		c.Advance(float64(pool.CeilDiv(cells, threads)) * cfg.Costs.SecPerCell)
 	}
 }
 

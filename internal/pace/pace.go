@@ -80,6 +80,12 @@ type Config struct {
 	// BatchTasks is how many alignment tasks the master assigns to one
 	// worker per round (default 512).
 	BatchTasks int
+	// Threads bounds the intra-rank goroutine pool used for index
+	// construction and batch alignment (the hybrid rank×thread model).
+	// 0 or 1 means serial — the host-independent default, so simulated
+	// curves reproduce everywhere; the profam layer resolves its
+	// NumCPU-based auto default before handing the config down.
+	Threads int
 	// Scoring is the alignment scheme (default BLOSUM62 11/1).
 	Scoring *align.Scoring
 	// Contain holds the Definition 1 thresholds (default 95 %/95 %).

@@ -4,6 +4,7 @@ import (
 	"profam/internal/bipartite"
 	"profam/internal/mpi"
 	"profam/internal/pace"
+	"profam/internal/pool"
 	"profam/internal/seq"
 	"profam/internal/shingle"
 )
@@ -79,52 +80,92 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	own := bipartite.DistributeComponents(res.Components, c.Size())
 	bcfg := cfg.bipartiteConfig()
 	sp := cfg.shingleParams()
+	mine := own[c.Rank()]
+	threads := max(1, cfg.ThreadsPerRank)
 
-	var local []wireFamily
-	var bggTime, dsdTime float64
-	for _, ci := range own[c.Rank()] {
-		members := res.Components[ci]
-		t0 := c.Time()
+	// Each owned component is an independent job: build its bipartite
+	// reduction, run the Shingle detector, and record the modeled work
+	// units. Jobs run on the rank's goroutine pool; results land in a
+	// slice indexed by component position, so the flattened family list
+	// is identical for every thread count.
+	type compJob struct {
+		fams  []wireFamily
+		cells int64 // B_d DP cells
+		pairs int64 // B_d pairs aligned
+		chars int64 // B_m word-extraction characters
+		ops   int64 // shingle min-hash operations
+		err   error
+	}
+	jobs := make([]compJob, len(mine))
+	costs := pace.DefaultCostParams()
+	t0 := c.Time()
+	pool.Run(threads, len(mine), func(i int) {
+		j := &jobs[i]
+		members := res.Components[mine[i]]
 		var g *bipartite.Graph
 		switch cfg.Reduction {
 		case DomainBased:
-			var err error
-			g, err = bipartite.BuildBm(set, members, bcfg)
-			if err != nil {
-				return nil, err
+			g, j.err = bipartite.BuildBm(set, members, bcfg)
+			if j.err != nil {
+				return
 			}
 			// Word extraction scans each member sequence once.
-			var chars int64
 			for _, id := range members {
-				chars += int64(set.Get(id).Len())
+				j.chars += int64(set.Get(id).Len())
 			}
-			c.Advance(float64(chars) * pace.DefaultCostParams().SecPerTreeChar)
 		default:
 			var st bipartite.BuildStats
-			var err error
-			g, st, err = bipartite.BuildBd(set, members, bcfg)
-			if err != nil {
-				return nil, err
+			g, st, j.err = bipartite.BuildBd(set, members, bcfg)
+			if j.err != nil {
+				return
 			}
-			costs := pace.DefaultCostParams()
-			c.Advance(float64(st.Cells)*costs.SecPerCell + float64(st.PairsAligned)*costs.SecPerPairGen)
+			j.cells, j.pairs = st.Cells, st.PairsAligned
 		}
-		t1 := c.Time()
-
 		subs, st := shingle.Detect(g, sp)
-		c.Advance(float64(st.WorkOps) * secPerShingleOp)
-		t2 := c.Time()
-		bggTime += t1 - t0
-		dsdTime += t2 - t1
-
+		j.ops = st.WorkOps
 		for _, d := range subs {
-			local = append(local, wireFamily{
+			j.fams = append(j.fams, wireFamily{
 				Members:    d.Members,
 				MeanDegree: d.MeanDegree,
 				Density:    d.Density,
 			})
 		}
+	})
+	t1 := c.Time()
+
+	// Charge the virtual clock ceil(work/threads) per work class — the
+	// perfect-intra-rank-speedup model — keeping simulated curves
+	// deterministic for a given thread count. On wall-clock transports
+	// Advance is a no-op and the elapsed time of the parallel section
+	// (t1-t0) is apportioned between the phases by modeled work.
+	var local []wireFamily
+	var cells, pairs, chars, ops int64
+	for i := range jobs {
+		j := &jobs[i]
+		if j.err != nil {
+			return nil, j.err
+		}
+		cells += j.cells
+		pairs += j.pairs
+		chars += j.chars
+		ops += j.ops
+		local = append(local, j.fams...)
 	}
+	bggAdv := float64(pool.CeilDiv(cells, threads))*costs.SecPerCell +
+		float64(pool.CeilDiv(pairs, threads))*costs.SecPerPairGen +
+		float64(pool.CeilDiv(chars, threads))*costs.SecPerTreeChar
+	dsdAdv := float64(pool.CeilDiv(ops, threads)) * secPerShingleOp
+	c.Advance(bggAdv)
+	t2 := c.Time()
+	c.Advance(dsdAdv)
+	t3 := c.Time()
+	bggShare := 1.0
+	if bggAdv+dsdAdv > 0 {
+		bggShare = bggAdv / (bggAdv + dsdAdv)
+	}
+	wall := t1 - t0
+	bggTime := (t2 - t1) + wall*bggShare
+	dsdTime := (t3 - t2) + wall*(1-bggShare)
 
 	// Gather families at rank 0, then share the final list.
 	gathered := c.Gather(0, familyBatch{Families: local})
@@ -173,6 +214,7 @@ func RunSet(set *seq.Set, p int, simulate bool, cfg Config) (*Result, float64, e
 	if simulate {
 		return simulateSet(set, p, cfg)
 	}
+	cfg = cfg.withAutoThreads(p)
 	var res *Result
 	var rerr error
 	var span float64
