@@ -1,16 +1,28 @@
 #!/bin/sh
 # ci.sh — the repo's verification gate.
 #
-#   ./ci.sh          vet + build + tests + race-detector pass
-#   ./ci.sh bench    additionally regenerate BENCH_results.json
+#   ./ci.sh             gofmt + vet + build + tests + race-detector pass
+#   ./ci.sh bench       additionally regenerate BENCH_results.json
+#   ./ci.sh benchcheck  bench-regression gate: compare against the checked-in
+#                       BENCH_results.json, failing on >20% kernel slowdown
+#                       (skipped automatically when the host is too noisy)
 #
 # The race pass matters: the hybrid rank×thread execution model runs
 # alignment batches, index construction and phase 3+4 component jobs on
 # goroutine pools inside every rank, across the inproc and TCP
-# transports (see TestThreadsPerRankDeterminism / TestThreadsTCPTransport).
+# transports (see TestThreadsPerRankDeterminism / TestThreadsTCPTransport),
+# and every rank hammers its metrics registry from those pools.
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "== gofmt =="
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$badfmt" >&2
+	exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -27,6 +39,12 @@ go test -race ./...
 if [ "${1:-}" = "bench" ]; then
 	echo "== benchmarks -> BENCH_results.json =="
 	go run ./cmd/benchjson -out BENCH_results.json
+fi
+
+if [ "${1:-}" = "benchcheck" ]; then
+	echo "== bench regression gate vs BENCH_results.json =="
+	go run ./cmd/benchjson -compare BENCH_results.json -tolerance 0.20 \
+		-benchtime 200ms -timeout 10m
 fi
 
 echo "ci.sh: all checks passed"

@@ -4,18 +4,34 @@
 // JSON file, giving future changes a machine-readable perf trajectory
 // to compare against.
 //
+// With -compare it acts as a regression gate instead: results are
+// checked against the baseline file and the exit status is non-zero if
+// any kernel got more than -tolerance slower. A calibration kernel is
+// timed twice first; when the two runs disagree by more than half the
+// tolerance the host is considered too noisy to judge and the
+// comparison is skipped (exit 0), so shared CI runners don't produce
+// false failures.
+//
+// The run is bounded by -timeout and interruptible with SIGINT/SIGTERM:
+// no new benchmark starts once the deadline passes or a signal arrives,
+// and a watchdog terminates the process if a benchmark itself wedges.
+//
 // Example:
 //
 //	benchjson -out BENCH_results.json
+//	benchjson -compare BENCH_results.json -tolerance 0.2
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -37,14 +53,34 @@ func main() {
 	testing.Init() // register the test.* flags testing.Benchmark consults
 	out := flag.String("out", "BENCH_results.json", "output JSON file")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	compare := flag.String("compare", "", "baseline JSON file to gate against; exits 1 on any regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown per kernel in -compare mode")
+	timeout := flag.Duration("timeout", 15*time.Minute, "abort the whole run after this long")
 	flag.Parse()
 
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		log.Fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+	go func() {
+		// Watchdog: testing.Benchmark cannot be cancelled mid-run, so
+		// once the context ends a wedged benchmark would hang CI forever.
+		// Give the in-flight benchmark a grace period, then bail hard.
+		<-ctx.Done()
+		time.Sleep(30 * time.Second)
+		log.Print("watchdog: benchmark still running after cancellation; terminating")
+		os.Exit(2)
+	}()
+
 	results := map[string]float64{}
 	record := func(name string, fn func(b *testing.B)) {
+		if ctx.Err() != nil {
+			return
+		}
 		r := testing.Benchmark(fn)
 		results[name] = float64(r.NsPerOp())
 		log.Printf("%-40s %12d ns/op  (%d iters)", name, r.NsPerOp(), r.N)
@@ -53,6 +89,27 @@ func main() {
 	alignSet, _ := experiments.SetOfSize(120, 31)
 	pairs := experiments.BenchPairs(alignSet, 2048)
 	pipeSet, _ := experiments.SetOfSize(300, 47)
+
+	calibrate := func() float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.AlignBatchKernel(alignSet, pairs, 1)
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	var noise float64
+	if *compare != "" {
+		// Measure host noise before anything else: the same serial kernel
+		// twice, back to back.
+		c1, c2 := calibrate(), calibrate()
+		noise = (c1 - c2) / c1
+		if noise < 0 {
+			noise = -noise
+		}
+		log.Printf("calibration: %.0f vs %.0f ns/op (%.1f%% spread)", c1, c2, 100*noise)
+	}
 
 	for _, th := range experiments.ThreadCounts() {
 		th := th
@@ -72,13 +129,38 @@ func main() {
 		})
 	}
 
+	if err := ctx.Err(); err != nil {
+		log.Fatalf("run aborted: %v (%d benchmarks completed)", err, len(results))
+	}
+
+	if *compare != "" {
+		os.Exit(compareBaseline(*compare, results, *tolerance, noise, explicitOut(), *out))
+	}
+
+	writeResults(*out, results)
+}
+
+// explicitOut reports whether -out was set on the command line (as
+// opposed to defaulted), so -compare mode doesn't clobber the baseline
+// unless asked.
+func explicitOut() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			set = true
+		}
+	})
+	return set
+}
+
+func writeResults(path string, results map[string]float64) {
 	payload := fileFormat{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		Benchmarks: results,
 	}
-	f, err := os.Create(*out)
+	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,5 +172,49 @@ func main() {
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("wrote %s", *out)
+	log.Printf("wrote %s", path)
+}
+
+// compareBaseline checks the fresh results against the baseline file and
+// returns the process exit code: 0 when every shared kernel is within
+// tolerance (or the host is too noisy to judge), 1 on regression.
+func compareBaseline(path string, results map[string]float64, tolerance, noise float64, writeOut bool, outPath string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var base fileFormat
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Printf("%s: %v", path, err)
+		return 1
+	}
+	if noise > tolerance/2 {
+		log.Printf("host too noisy (%.1f%% calibration spread > %.1f%% threshold); skipping comparison", 100*noise, 100*tolerance/2)
+		return 0
+	}
+	regressed := 0
+	for name, old := range base.Benchmarks {
+		now, ok := results[name]
+		if !ok {
+			log.Printf("%-40s missing from this run", name)
+			continue
+		}
+		ratio := now/old - 1
+		status := "ok"
+		if ratio > tolerance {
+			status = "REGRESSED"
+			regressed++
+		}
+		log.Printf("%-40s %12.0f -> %12.0f ns/op  (%+.1f%%)  %s", name, old, now, 100*ratio, status)
+	}
+	if writeOut {
+		writeResults(outPath, results)
+	}
+	if regressed > 0 {
+		log.Printf("%d kernel(s) regressed beyond %.0f%%", regressed, 100*tolerance)
+		return 1
+	}
+	log.Printf("all %d baseline kernels within %.0f%%", len(base.Benchmarks), 100*tolerance)
+	return 0
 }

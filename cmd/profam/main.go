@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"profam"
@@ -77,6 +79,8 @@ func main() {
 	useESA := flag.Bool("esa", false, "index with an enhanced suffix array instead of the suffix tree")
 	jsonOut := flag.Bool("json", false, "write families as JSON instead of text")
 	reportPath := flag.String("report", "", "write a full text report (summary, histogram, MSA blocks) to this file")
+	metricsOut := flag.String("metrics-out", "", "write the merged metrics report (counters, gauges, histograms, phase spans) as JSON to this file (- for stdout) and print a summary table")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof debug endpoints on this address (e.g. localhost:6060); empty disables")
 
 	var cfg profam.Config
 	flag.IntVar(&cfg.Psi, "psi", 8, "minimum maximal-match length for promising pairs")
@@ -112,6 +116,16 @@ func main() {
 	}
 
 	cfg.UseESA = *useESA
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		log.Printf("pprof endpoints on http://%s/debug/pprof/", *pprofAddr)
+	}
 
 	set, err := seq.ReadFASTAFile(*in)
 	if err != nil {
@@ -176,6 +190,27 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("quality vs truth: %s", conf)
+	}
+
+	if *metricsOut != "" && res.Metrics != nil {
+		if err := res.Metrics.Table(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		mw := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			mw = f
+		}
+		if err := res.Metrics.WriteJSON(mw); err != nil {
+			log.Fatal(err)
+		}
+		if *metricsOut != "-" {
+			log.Printf("metrics written to %s", *metricsOut)
+		}
 	}
 
 	mode := "wall-clock"

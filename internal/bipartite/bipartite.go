@@ -112,10 +112,15 @@ func (c Config) withDefaults() Config {
 }
 
 // BuildStats records the work spent constructing a graph, for the
-// virtual-time accounting of the distributed pipeline.
+// virtual-time accounting and metrics of the distributed pipeline.
+// PairsAligned and Cells are B_d quantities; Chars and Words are B_m
+// quantities (characters scanned for word extraction, shared words kept
+// as left vertices).
 type BuildStats struct {
 	PairsAligned int64
 	Cells        int64
+	Chars        int64
+	Words        int64
 }
 
 // BuildBd constructs the global-similarity reduction of one connected
@@ -181,7 +186,7 @@ func BuildBd(set *seq.Set, members []int, cfg Config) (*Graph, BuildStats, error
 // BuildBm constructs the domain-based reduction of one connected
 // component: left vertices are the W-length words shared by at least two
 // member sequences.
-func BuildBm(set *seq.Set, members []int, cfg Config) (*Graph, error) {
+func BuildBm(set *seq.Set, members []int, cfg Config) (*Graph, BuildStats, error) {
 	cfg = cfg.withDefaults()
 	sorted := append([]int(nil), members...)
 	sort.Ints(sorted)
@@ -197,9 +202,11 @@ func BuildBm(set *seq.Set, members []int, cfg Config) (*Graph, error) {
 
 	// word -> set of right vertices containing it (deduplicated per
 	// sequence, kept in ascending right order by construction).
+	var st BuildStats
 	occ := map[string][]int32{}
 	for ri, id := range sorted {
 		res := set.Get(id).Res
+		st.Chars += int64(len(res))
 		if len(res) < cfg.W {
 			continue
 		}
@@ -228,7 +235,8 @@ func BuildBm(set *seq.Set, members []int, cfg Config) (*Graph, error) {
 	for li, w := range words {
 		g.Adj[li] = occ[w]
 	}
-	return g, nil
+	st.Words = int64(len(words))
+	return g, st, nil
 }
 
 // DistributeComponents greedily assigns components (given as member-ID

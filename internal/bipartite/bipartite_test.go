@@ -103,7 +103,7 @@ func TestBuildBm(t *testing.T) {
 	set.MustAdd("a", "AAAA"+dom+"CCCC")
 	set.MustAdd("b", "GGG"+dom+"TTTT")
 	set.MustAdd("c", "PPPPPPPPPPPPPP") // no shared words
-	g, err := BuildBm(set, []int{0, 1, 2}, Config{W: 10})
+	g, _, err := BuildBm(set, []int{0, 1, 2}, Config{W: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestBuildBmRepeatedWordCountedOnce(t *testing.T) {
 	dom := "WWHKNMEFRW"
 	set.MustAdd("a", dom+"AAAA"+dom) // word appears twice in one sequence
 	set.MustAdd("b", dom)
-	g, err := BuildBm(set, []int{0, 1}, Config{W: 10})
+	g, _, err := BuildBm(set, []int{0, 1}, Config{W: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestBuildBmDomainFamily(t *testing.T) {
 	if len(members) != 6 {
 		t.Fatalf("expected 6 domain members, got %d", len(members))
 	}
-	g, err := BuildBm(set, members, Config{W: 10})
+	g, _, err := BuildBm(set, members, Config{W: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

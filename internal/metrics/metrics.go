@@ -1,0 +1,357 @@
+// Package metrics is the pipeline's observability layer: a
+// dependency-free, race-safe registry of counters, gauges and log-scale
+// histograms with per-rank labels, plus a lightweight span tracer.
+//
+// Every rank of a job owns one Registry, created with the rank's clock
+// (mpi.Comm.Time) so that span timestamps are *virtual* seconds under the
+// simtime transport — and therefore deterministic in tests — and
+// wall-clock seconds otherwise. At the end of a run each rank takes a
+// Snapshot, rank 0 gathers and Merges them into a Report, and the report
+// travels with the pipeline Result.
+//
+// Handles returned by Counter/Gauge/Histogram are cheap to hold and safe
+// to use from many goroutines (the hybrid rank×thread pools hammer them
+// concurrently); all methods are nil-safe, so call sites never need to
+// guard against a missing registry.
+//
+// Metric names carry labels in a fixed "name{k=v,...}" form built with
+// Name, e.g. pace_pairs_aligned{phase=ccd}. The label every consumer can
+// rely on is the rank, which is kept out of the name: snapshots are
+// per-rank and the merged report preserves them under Ranks.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Clock returns the current time in seconds. Registries built from an
+// mpi rank use the rank's Comm.Time, which is the virtual clock under
+// the simulator and wall clock otherwise.
+type Clock func() float64
+
+// Name composes a metric name with label key/value pairs in
+// deterministic "name{k1=v1,k2=v2}" form. kv must alternate keys and
+// values; pairs are emitted in the order given.
+func Name(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry is one rank's metric store. The zero value is not usable;
+// construct with New. A nil *Registry is a valid no-op sink: every
+// method returns nil handles whose methods do nothing.
+type Registry struct {
+	rank  int
+	clock Clock
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    []SpanRecord
+}
+
+// New returns an empty registry for the given rank. A nil clock pins
+// every span timestamp to 0 (useful for pure counting).
+func New(rank int, clock Clock) *Registry {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	return &Registry{
+		rank:     rank,
+		clock:    clock,
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Rank returns the rank label this registry was created with.
+func (r *Registry) Rank() int {
+	if r == nil {
+		return 0
+	}
+	return r.rank
+}
+
+// Now reads the registry's clock.
+func (r *Registry) Now() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.clock()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64. All methods are nil-safe
+// and goroutine-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 sampled value. All methods are nil-safe and
+// goroutine-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetMax stores v only if it exceeds the current value — the idiom for
+// high-water marks such as queue depth.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates int64 observations into log-scale (power-of-two)
+// buckets: bucket b counts values in [2^(b-1), 2^b); bucket 0 counts
+// values ≤ 0 together with the value 0 never occurring above. The exact
+// count, sum, min and max are kept alongside, so coarse buckets lose no
+// aggregate precision. All methods are nil-safe and goroutine-safe.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      int64
+	min, max int64
+	buckets  map[int]int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.mu.Lock()
+	if h.buckets == nil {
+		h.buckets = map[int]int64{}
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Buckets: make(map[int]int64, len(h.buckets)),
+	}
+	for b, n := range h.buckets {
+		s.Buckets[b] = n
+	}
+	return s
+}
+
+// SpanRecord is one completed span: a named interval on the owning
+// rank's clock. Under the simtime transport Start and End are virtual
+// seconds.
+type SpanRecord struct {
+	Name  string
+	Rank  int
+	Start float64
+	End   float64
+}
+
+// Seconds returns the span's duration.
+func (s SpanRecord) Seconds() float64 { return s.End - s.Start }
+
+// Span is an open interval returned by StartSpan. The zero Span (from a
+// nil registry) is a valid no-op.
+type Span struct {
+	reg   *Registry
+	name  string
+	start float64
+}
+
+// StartSpan opens a named span at the current clock reading.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{reg: r, name: name, start: r.clock()}
+}
+
+// End closes the span at the current clock reading and records it.
+func (s Span) End() {
+	if s.reg == nil {
+		return
+	}
+	s.reg.RecordSpan(s.name, s.start, s.reg.clock())
+}
+
+// RecordSpan records an explicit interval, for phases whose extent is
+// modeled (apportioned) rather than directly bracketed by StartSpan/End.
+func (r *Registry) RecordSpan(name string, start, end float64) {
+	if r == nil {
+		return
+	}
+	rec := SpanRecord{Name: name, Rank: r.rank, Start: start, End: end}
+	r.mu.Lock()
+	r.spans = append(r.spans, rec)
+	r.mu.Unlock()
+}
+
+// Snapshot returns a copy of every metric in the registry, tagged with
+// the rank. It is safe to call concurrently with updates; values are
+// read atomically per metric.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g.Value()
+	}
+	hists := make([]histEntry, 0, len(r.hists))
+	for n, h := range r.hists {
+		hists = append(hists, histEntry{n, h})
+	}
+	spans := append([]SpanRecord(nil), r.spans...)
+	r.mu.Unlock()
+
+	// Histogram snapshots take the per-histogram lock; do it outside the
+	// registry lock to keep Observe contention low.
+	hsnaps := make(map[string]HistogramSnapshot, len(hists))
+	for _, e := range hists {
+		hsnaps[e.name] = e.h.snapshot()
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	return Snapshot{
+		Rank:       r.rank,
+		Counters:   counters,
+		Gauges:     gauges,
+		Histograms: hsnaps,
+		Spans:      spans,
+	}
+}
+
+type histEntry struct {
+	name string
+	h    *Histogram
+}

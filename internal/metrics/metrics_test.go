@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fixedClock returns a Clock that advances by one second per call,
+// giving deterministic span timestamps without real time.
+func fixedClock() Clock {
+	t := 0.0
+	var mu sync.Mutex
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		t++
+		return t
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Name("pairs"); got != "pairs" {
+		t.Errorf("Name(pairs) = %q", got)
+	}
+	if got := Name("pairs", "phase", "rr"); got != "pairs{phase=rr}" {
+		t.Errorf("got %q", got)
+	}
+	if got := Name("x", "a", "1", "b", "2"); got != "x{a=1,b=2}" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(3)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Gauge("g").SetMax(2)
+	r.Histogram("h").Observe(5)
+	r.StartSpan("s").End()
+	r.RecordSpan("s", 0, 1)
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	if v := r.Gauge("g").Value(); v != 0 {
+		t.Errorf("nil gauge value = %v", v)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New(0, fixedClock())
+	c := r.Counter("pairs")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 6 {
+		t.Errorf("counter = %d, want 6", c.Value())
+	}
+	if r.Counter("pairs") != c {
+		t.Error("Counter not idempotent per name")
+	}
+
+	g := r.Gauge("ratio")
+	g.Set(0.5)
+	g.SetMax(0.3)
+	if g.Value() != 0.5 {
+		t.Errorf("SetMax lowered the gauge: %v", g.Value())
+	}
+	g.SetMax(0.9)
+	if g.Value() != 0.9 {
+		t.Errorf("SetMax did not raise the gauge: %v", g.Value())
+	}
+
+	h := r.Histogram("sizes")
+	for _, v := range []int64{1, 2, 3, 1000, 0} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 || s.Sum != 1006 || s.Min != 0 || s.Max != 1000 {
+		t.Errorf("histogram snapshot = %+v", s)
+	}
+	// v=0 → bucket 0; 1 → 1; 2,3 → 2; 1000 → 10 (2^9 < 1000 ≤ 2^10).
+	want := map[int]int64{0: 1, 1: 1, 2: 2, 10: 1}
+	if fmt.Sprint(s.Buckets) != fmt.Sprint(want) {
+		t.Errorf("buckets = %v, want %v", s.Buckets, want)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	r := New(3, fixedClock())
+	sp := r.StartSpan("rr") // start=1
+	sp.End()                // end=2
+	r.RecordSpan("bgg", 10, 12.5)
+	snap := r.Snapshot()
+	if len(snap.Spans) != 2 {
+		t.Fatalf("got %d spans", len(snap.Spans))
+	}
+	if snap.Spans[0].Name != "rr" || snap.Spans[0].Seconds() != 1 {
+		t.Errorf("span 0 = %+v", snap.Spans[0])
+	}
+	if snap.Spans[1].Name != "bgg" || snap.Spans[1].Seconds() != 2.5 || snap.Spans[1].Rank != 3 {
+		t.Errorf("span 1 = %+v", snap.Spans[1])
+	}
+}
+
+func TestMergeAndCanonical(t *testing.T) {
+	mk := func(rank int, pairs int64, ratio float64, spanLen float64) Snapshot {
+		r := New(rank, fixedClock())
+		r.Counter("pairs").Add(pairs)
+		r.Gauge("ratio").SetMax(ratio)
+		r.Histogram("sizes").Observe(pairs)
+		r.RecordSpan("rr", 0, spanLen)
+		return r.Snapshot()
+	}
+	rep := Merge([]Snapshot{mk(0, 10, 0.5, 1.0), mk(1, 32, 0.9, 4.0)})
+	if rep.NumRanks != 2 {
+		t.Errorf("NumRanks = %d", rep.NumRanks)
+	}
+	if v := rep.CounterValue("pairs"); v != 42 {
+		t.Errorf("merged counter = %d, want 42", v)
+	}
+	if v := rep.GaugeValue("ratio"); v != 0.9 {
+		t.Errorf("merged gauge = %v, want max 0.9", v)
+	}
+	if h := rep.Histograms["sizes"]; h.Count != 2 || h.Sum != 42 {
+		t.Errorf("merged histogram = %+v", h)
+	}
+	if len(rep.Phases) != 1 || rep.Phases[0].Name != "rr" || rep.Phases[0].MaxSeconds != 4.0 {
+		t.Errorf("phases = %+v", rep.Phases)
+	}
+
+	// Same work, different timings → identical Canonical form.
+	repSlow := Merge([]Snapshot{mk(0, 10, 0.5, 7.0), mk(1, 32, 0.9, 2.0)})
+	a, _ := json.Marshal(rep.Canonical())
+	b, _ := json.Marshal(repSlow.Canonical())
+	if !bytes.Equal(a, b) {
+		t.Errorf("Canonical differs across timings:\n%s\n%s", a, b)
+	}
+	// ... but differing work must show through.
+	repOther := Merge([]Snapshot{mk(0, 11, 0.5, 1.0), mk(1, 32, 0.9, 4.0)})
+	c, _ := json.Marshal(repOther.Canonical())
+	if bytes.Equal(a, c) {
+		t.Error("Canonical hid a counter difference")
+	}
+}
+
+func TestReportJSONAndTable(t *testing.T) {
+	r := New(0, fixedClock())
+	r.Counter(Name("pairs", "phase", "rr")).Add(7)
+	r.Gauge("ratio").Set(0.25)
+	r.Histogram("sizes").Observe(16)
+	r.RecordSpan("rr", 1, 3)
+	rep := Merge([]Snapshot{r.Snapshot()})
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.CounterValue("pairs{phase=rr}") != 7 {
+		t.Errorf("round-tripped counter = %d", back.CounterValue("pairs{phase=rr}"))
+	}
+
+	buf.Reset()
+	if err := rep.Table(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pairs{phase=rr}", "ratio", "sizes", "rr"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("table output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines the
+// way concurrent ranks and their thread pools do; run under -race it is
+// the registry's thread-safety proof. Determinism of the totals is
+// asserted at the end.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New(0, fixedClock())
+	const workers = 16
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := Name("shared", "mod", fmt.Sprint(w%4))
+			for i := 0; i < iters; i++ {
+				r.Counter("total").Inc()
+				r.Counter(name).Add(2)
+				r.Gauge("depth").SetMax(float64(i))
+				r.Histogram("obs").Observe(int64(i))
+				sp := r.StartSpan("work")
+				sp.End()
+				if i%100 == 0 {
+					_ = r.Snapshot() // concurrent reader
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["total"]; got != workers*iters {
+		t.Errorf("total = %d, want %d", got, workers*iters)
+	}
+	var shared int64
+	for name, v := range snap.Counters {
+		if name != "total" {
+			shared += v
+		}
+	}
+	if shared != 2*workers*iters {
+		t.Errorf("sharded counters sum = %d, want %d", shared, 2*workers*iters)
+	}
+	if snap.Gauges["depth"] != iters-1 {
+		t.Errorf("depth = %v, want %d", snap.Gauges["depth"], iters-1)
+	}
+	if h := snap.Histograms["obs"]; h.Count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*iters)
+	}
+	if len(snap.Spans) != workers*iters {
+		t.Errorf("spans = %d, want %d", len(snap.Spans), workers*iters)
+	}
+}

@@ -1,0 +1,300 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// HistogramSnapshot is an immutable copy of one histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets map[int]int64 // bit-length bucket b counts values in [2^(b-1), 2^b)
+}
+
+// Snapshot is an immutable copy of one rank's registry, suitable for
+// shipping over the mpi transports (gob-encodable) and merging at rank 0.
+type Snapshot struct {
+	Rank       int
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+	Spans      []SpanRecord
+}
+
+// WireSize implements the mpi Sized convention so the simulator charges
+// a realistic byte volume for metric gathers.
+func (s Snapshot) WireSize() int {
+	n := 16
+	for name := range s.Counters {
+		n += len(name) + 8
+	}
+	for name := range s.Gauges {
+		n += len(name) + 8
+	}
+	for name, h := range s.Histograms {
+		n += len(name) + 32 + 16*len(h.Buckets)
+	}
+	for _, sp := range s.Spans {
+		n += len(sp.Name) + 24
+	}
+	return n
+}
+
+// PhaseTiming aggregates all spans sharing one name across ranks.
+type PhaseTiming struct {
+	Name string
+	// Count is the number of spans merged.
+	Count int
+	// StartSeconds is the earliest span start over all ranks.
+	StartSeconds float64
+	// MaxSeconds is the largest per-rank total duration — the phase's
+	// critical path across the job.
+	MaxSeconds float64
+	// SumSeconds is the total duration over all ranks (rank-seconds).
+	SumSeconds float64
+}
+
+// Report is the job-wide merge of every rank's snapshot: counters are
+// summed, gauges take the maximum, histograms are merged bucket-wise,
+// and spans are folded into per-name phase timings. The raw per-rank
+// snapshots are preserved under Ranks so per-rank breakdowns (load
+// imbalance, per-transport traffic) stay available.
+type Report struct {
+	NumRanks   int
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+	Phases     []PhaseTiming
+	Ranks      []Snapshot
+}
+
+// Merge folds per-rank snapshots into a job-wide report. Phases are
+// ordered by earliest start (pipeline order), ties by name.
+func Merge(snaps []Snapshot) *Report {
+	rep := &Report{
+		NumRanks:   len(snaps),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Ranks:      append([]Snapshot(nil), snaps...),
+	}
+	type phaseAcc struct {
+		count   int
+		start   float64
+		sum     float64
+		perRank map[int]float64
+	}
+	phases := map[string]*phaseAcc{}
+	for _, s := range snaps {
+		for n, v := range s.Counters {
+			rep.Counters[n] += v
+		}
+		for n, v := range s.Gauges {
+			if cur, ok := rep.Gauges[n]; !ok || v > cur {
+				rep.Gauges[n] = v
+			}
+		}
+		for n, h := range s.Histograms {
+			rep.Histograms[n] = mergeHist(rep.Histograms[n], h)
+		}
+		for _, sp := range s.Spans {
+			a := phases[sp.Name]
+			if a == nil {
+				a = &phaseAcc{start: sp.Start, perRank: map[int]float64{}}
+				phases[sp.Name] = a
+			}
+			if sp.Start < a.start {
+				a.start = sp.Start
+			}
+			a.count++
+			a.sum += sp.Seconds()
+			a.perRank[sp.Rank] += sp.Seconds()
+		}
+	}
+	for name, a := range phases {
+		pt := PhaseTiming{Name: name, Count: a.count, StartSeconds: a.start, SumSeconds: a.sum}
+		for _, d := range a.perRank {
+			if d > pt.MaxSeconds {
+				pt.MaxSeconds = d
+			}
+		}
+		rep.Phases = append(rep.Phases, pt)
+	}
+	sort.Slice(rep.Phases, func(i, j int) bool {
+		if rep.Phases[i].StartSeconds != rep.Phases[j].StartSeconds {
+			return rep.Phases[i].StartSeconds < rep.Phases[j].StartSeconds
+		}
+		return rep.Phases[i].Name < rep.Phases[j].Name
+	})
+	return rep
+}
+
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 {
+		out := b
+		out.Buckets = make(map[int]int64, len(b.Buckets))
+		for k, v := range b.Buckets {
+			out.Buckets[k] = v
+		}
+		return out
+	}
+	out := a
+	if b.Count > 0 {
+		if b.Min < out.Min {
+			out.Min = b.Min
+		}
+		if b.Max > out.Max {
+			out.Max = b.Max
+		}
+		out.Count += b.Count
+		out.Sum += b.Sum
+	}
+	for k, v := range b.Buckets {
+		out.Buckets[k] += v
+	}
+	return out
+}
+
+// CounterValue returns the merged value of a counter (0 if absent).
+func (r *Report) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Counters[name]
+}
+
+// GaugeValue returns the merged value of a gauge (0 if absent).
+func (r *Report) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	return r.Gauges[name]
+}
+
+// Canonical returns a deep copy with every clock-derived field zeroed
+// and phases re-sorted by name — the representation that is identical
+// across thread counts under the simulator (work counters and shapes
+// are deterministic; only time is not, because each thread count charges
+// different virtual compute). Tests compare Canonical() JSON bytes.
+func (r *Report) Canonical() *Report {
+	if r == nil {
+		return nil
+	}
+	out := &Report{
+		NumRanks:   r.NumRanks,
+		Counters:   copyMap(r.Counters),
+		Gauges:     copyMap(r.Gauges),
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for n, h := range r.Histograms {
+		out.Histograms[n] = mergeHist(HistogramSnapshot{}, h)
+	}
+	for _, p := range r.Phases {
+		out.Phases = append(out.Phases, PhaseTiming{Name: p.Name, Count: p.Count})
+	}
+	sort.Slice(out.Phases, func(i, j int) bool { return out.Phases[i].Name < out.Phases[j].Name })
+	for _, s := range r.Ranks {
+		cs := Snapshot{
+			Rank:       s.Rank,
+			Counters:   copyMap(s.Counters),
+			Gauges:     copyMap(s.Gauges),
+			Histograms: map[string]HistogramSnapshot{},
+		}
+		for n, h := range s.Histograms {
+			cs.Histograms[n] = mergeHist(HistogramSnapshot{}, h)
+		}
+		for _, sp := range s.Spans {
+			cs.Spans = append(cs.Spans, SpanRecord{Name: sp.Name, Rank: sp.Rank})
+		}
+		sort.Slice(cs.Spans, func(i, j int) bool { return cs.Spans[i].Name < cs.Spans[j].Name })
+		out.Ranks = append(out.Ranks, cs)
+	}
+	return out
+}
+
+func copyMap[V int64 | float64](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteJSON writes the report as indented JSON. Map keys are emitted in
+// sorted order by encoding/json, so serialization is deterministic.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders a compact human-readable summary: phase timings first
+// (in pipeline order), then counters, gauges and histograms sorted by
+// name.
+func (r *Report) Table(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("== phase timings (s, max over ranks) ==\n"); err != nil {
+		return err
+	}
+	for _, ph := range r.Phases {
+		if err := p("%-18s %10.4f  (sum %.4f over %d spans)\n",
+			ph.Name, ph.MaxSeconds, ph.SumSeconds, ph.Count); err != nil {
+			return err
+		}
+	}
+	if err := p("== counters (sum over %d ranks) ==\n", r.NumRanks); err != nil {
+		return err
+	}
+	for _, n := range sortedKeys(r.Counters) {
+		if err := p("%-46s %14d\n", n, r.Counters[n]); err != nil {
+			return err
+		}
+	}
+	if len(r.Gauges) > 0 {
+		if err := p("== gauges (max over ranks) ==\n"); err != nil {
+			return err
+		}
+		for _, n := range sortedKeys(r.Gauges) {
+			if err := p("%-46s %14.4f\n", n, r.Gauges[n]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.Histograms) > 0 {
+		if err := p("== histograms ==\n"); err != nil {
+			return err
+		}
+		for _, n := range sortedKeys(r.Histograms) {
+			h := r.Histograms[n]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = float64(h.Sum) / float64(h.Count)
+			}
+			if err := p("%-46s n=%-8d mean=%-10.1f min=%-8d max=%d\n",
+				n, h.Count, mean, h.Min, h.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -68,8 +68,9 @@ type inprocTransport struct {
 	r   int
 }
 
-func (t *inprocTransport) rank() int { return t.r }
-func (t *inprocTransport) size() int { return t.job.n }
+func (t *inprocTransport) rank() int    { return t.r }
+func (t *inprocTransport) size() int    { return t.job.n }
+func (t *inprocTransport) name() string { return "inproc" }
 func (t *inprocTransport) send(to, tag int, data any) {
 	t.job.boxes[to].put(Message{From: t.r, Tag: tag, Data: data})
 }

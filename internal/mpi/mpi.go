@@ -24,6 +24,8 @@ package mpi
 
 import (
 	"fmt"
+
+	"profam/internal/metrics"
 )
 
 // Any is the wildcard value for Recv's from and tag arguments.
@@ -77,6 +79,7 @@ func payloadBytes(data any) int {
 type transport interface {
 	rank() int
 	size() int
+	name() string // transport label for metrics: inproc, sim, tcp
 	send(to, tag int, data any)
 	recv(from, tag int) Message
 	advance(seconds float64)
@@ -88,6 +91,7 @@ type CommStats struct {
 	MsgsSent  int64
 	BytesSent int64
 	MsgsRecv  int64
+	BytesRecv int64
 }
 
 // Comm is a communicator bound to one rank of a p-rank job.
@@ -96,23 +100,45 @@ type Comm struct {
 	tr      transport
 	collSeq int
 	stats   CommStats
+
+	// Optional metric handles attached with AttachMetrics; nil-safe.
+	msgsSent, bytesSent *metrics.Counter
+	msgsRecv, bytesRecv *metrics.Counter
 }
 
 // Stats returns the communication counters accumulated so far (messages
 // from collectives included).
 func (c *Comm) Stats() CommStats { return c.stats }
 
+// AttachMetrics routes this rank's communication volume — messages and
+// bytes sent and received, labeled by transport — into reg. Pass the
+// registry built on this rank's clock; attaching nil detaches.
+func (c *Comm) AttachMetrics(reg *metrics.Registry) {
+	tn := c.tr.name()
+	c.msgsSent = reg.Counter(metrics.Name("mpi_msgs_sent", "transport", tn))
+	c.bytesSent = reg.Counter(metrics.Name("mpi_bytes_sent", "transport", tn))
+	c.msgsRecv = reg.Counter(metrics.Name("mpi_msgs_recv", "transport", tn))
+	c.bytesRecv = reg.Counter(metrics.Name("mpi_bytes_recv", "transport", tn))
+}
+
 // send/recv wrap the transport with volume accounting; every Comm path
 // (point-to-point and collectives) goes through them.
 func (c *Comm) send(to, tag int, data any) {
+	nb := int64(payloadBytes(data))
 	c.stats.MsgsSent++
-	c.stats.BytesSent += int64(payloadBytes(data))
+	c.stats.BytesSent += nb
+	c.msgsSent.Inc()
+	c.bytesSent.Add(nb)
 	c.tr.send(to, tag, data)
 }
 
 func (c *Comm) recv(from, tag int) Message {
 	m := c.tr.recv(from, tag)
+	nb := int64(payloadBytes(m.Data))
 	c.stats.MsgsRecv++
+	c.stats.BytesRecv += nb
+	c.msgsRecv.Inc()
+	c.bytesRecv.Add(nb)
 	return m
 }
 

@@ -167,8 +167,9 @@ type simTransport struct {
 	r   int
 }
 
-func (t *simTransport) rank() int { return t.r }
-func (t *simTransport) size() int { return t.job.n }
+func (t *simTransport) rank() int    { return t.r }
+func (t *simTransport) size() int    { return t.job.n }
+func (t *simTransport) name() string { return "sim" }
 
 func (t *simTransport) advance(seconds float64) {
 	if seconds < 0 {

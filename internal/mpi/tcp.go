@@ -32,8 +32,9 @@ type tcpTransport struct {
 	conns []net.Conn
 }
 
-func (t *tcpTransport) rank() int { return t.r }
-func (t *tcpTransport) size() int { return t.n }
+func (t *tcpTransport) rank() int    { return t.r }
+func (t *tcpTransport) size() int    { return t.n }
+func (t *tcpTransport) name() string { return "tcp" }
 
 func (t *tcpTransport) send(to, tag int, data any) {
 	if to == t.r {

@@ -6,12 +6,89 @@ import (
 
 	"profam/internal/align"
 	"profam/internal/esa"
+	"profam/internal/metrics"
 	"profam/internal/mpi"
 	"profam/internal/pool"
 	"profam/internal/seq"
 	"profam/internal/suffixtree"
 	"profam/internal/unionfind"
 )
+
+// phaseCounters are the registry handles behind one phase's Stats — the
+// registry is the single accumulation path; Stats is a read-out of these
+// counters at phase end. All handles are labeled with the phase name
+// ("rr" or "ccd") so both phases coexist in one registry. base holds the
+// counter values at construction, making the read-out a per-call delta
+// even when a caller reuses one registry across phase calls.
+type phaseCounters struct {
+	raw, generated, duplicate *metrics.Counter
+	closure, aligned          *metrics.Counter
+	positive, cells, rounds   *metrics.Counter
+	batchTasks                *metrics.Histogram // alignment tasks per master→worker batch
+	batchPairs                *metrics.Histogram // promising pairs per worker→master batch
+	queueDepth                *metrics.Gauge     // high-water mark of the master's pending heap
+	base                      Stats
+}
+
+func newPhaseCounters(reg *metrics.Registry, phase string) phaseCounters {
+	l := func(n string) string { return metrics.Name(n, "phase", phase) }
+	pc := phaseCounters{
+		raw:        reg.Counter(l("pace_pairs_raw")),
+		generated:  reg.Counter(l("pace_pairs_generated")),
+		duplicate:  reg.Counter(l("pace_pairs_duplicate")),
+		closure:    reg.Counter(l("pace_pairs_closure")),
+		aligned:    reg.Counter(l("pace_pairs_aligned")),
+		positive:   reg.Counter(l("pace_pairs_positive")),
+		cells:      reg.Counter(l("pace_align_cells")),
+		rounds:     reg.Counter(l("pace_rounds")),
+		batchTasks: reg.Histogram(l("pace_batch_tasks")),
+		batchPairs: reg.Histogram(l("pace_batch_pairs")),
+		queueDepth: reg.Gauge(l("pace_queue_depth")),
+	}
+	pc.base = pc.read()
+	return pc
+}
+
+// read returns the counters' current absolute values.
+func (pc phaseCounters) read() Stats {
+	return Stats{
+		PairsRaw:       pc.raw.Value(),
+		PairsGenerated: pc.generated.Value(),
+		PairsDuplicate: pc.duplicate.Value(),
+		PairsClosure:   pc.closure.Value(),
+		PairsAligned:   pc.aligned.Value(),
+		PairsPositive:  pc.positive.Value(),
+		Cells:          pc.cells.Value(),
+		Rounds:         pc.rounds.Value(),
+	}
+}
+
+// stats returns the per-call Stats delta accumulated since construction.
+func (pc phaseCounters) stats() Stats {
+	cur := pc.read()
+	return Stats{
+		PairsRaw:       cur.PairsRaw - pc.base.PairsRaw,
+		PairsGenerated: cur.PairsGenerated - pc.base.PairsGenerated,
+		PairsDuplicate: cur.PairsDuplicate - pc.base.PairsDuplicate,
+		PairsClosure:   cur.PairsClosure - pc.base.PairsClosure,
+		PairsAligned:   cur.PairsAligned - pc.base.PairsAligned,
+		PairsPositive:  cur.PairsPositive - pc.base.PairsPositive,
+		Cells:          cur.Cells - pc.base.Cells,
+		Rounds:         cur.Rounds - pc.base.Rounds,
+	}
+}
+
+// poolObserver records a pool run's queue depth into a site-labeled
+// histogram and high-water gauge. The thread bound is deliberately not
+// recorded: it is configuration, and keeping it out preserves metric
+// determinism across thread counts.
+func poolObserver(reg *metrics.Registry, phase, site string) pool.Observer {
+	if reg == nil {
+		return nil
+	}
+	h := reg.Histogram(metrics.Name("pool_queue_depth", "phase", phase, "site", site))
+	return func(queued, threads int) { h.Observe(int64(queued)) }
+}
 
 // pairSource pulls promising pairs out of a worker's subtrees in
 // decreasing match-length order, deduplicating locally (the first — and
@@ -79,7 +156,9 @@ func (s *pairSource) next(k int) ([]PairItem, bool) {
 // pool; the result slice is indexed by bucket position, keeping the
 // tree order — and therefore the pair stream — identical for every
 // thread count.
-func buildTrees(c *mpi.Comm, set *seq.Set, bucketIdx []int, buckets []suffixtree.Bucket, cfg Config) ([]*suffixtree.SubTree, error) {
+func buildTrees(c *mpi.Comm, set *seq.Set, bucketIdx []int, buckets []suffixtree.Bucket, cfg Config, phase string) ([]*suffixtree.SubTree, error) {
+	sp := cfg.Metrics.StartSpan(phase + "/index")
+	defer sp.End()
 	opt := suffixtree.Options{MinMatch: cfg.Psi, PrefixLen: cfg.PrefixLen}
 	build := suffixtree.BuildBucket
 	if cfg.Index == IndexESA {
@@ -88,7 +167,7 @@ func buildTrees(c *mpi.Comm, set *seq.Set, bucketIdx []int, buckets []suffixtree
 	threads := max(1, cfg.Threads)
 	trees := make([]*suffixtree.SubTree, len(bucketIdx))
 	errs := make([]error, len(bucketIdx))
-	pool.Run(threads, len(bucketIdx), func(i int) {
+	pool.RunObserved(threads, len(bucketIdx), poolObserver(cfg.Metrics, phase, "index"), func(i int) {
 		trees[i], errs[i] = build(set, buckets[bucketIdx[i]], opt)
 	})
 	var weight int64
@@ -99,23 +178,27 @@ func buildTrees(c *mpi.Comm, set *seq.Set, bucketIdx []int, buckets []suffixtree
 		weight += buckets[bucketIdx[i]].Weight
 	}
 	c.Advance(float64(pool.CeilDiv(weight, threads)) * cfg.Costs.SecPerTreeChar)
+	cfg.Metrics.Counter(metrics.Name("pace_index_chars", "phase", phase)).Add(weight)
 	return trees, nil
 }
 
-// masterState is the generic master-side round bookkeeping.
+// masterState is the generic master-side round bookkeeping. All of its
+// counting goes straight to the metrics registry through ctr; the Stats
+// a phase returns are read back out of the registry when it ends.
 type masterState struct {
 	pending taskHeap
 	seen    map[int64]bool
 	seqno   int64
-	stats   Stats
+	ctr     phaseCounters
 	logic   masterLogic
 	cfg     Config
 }
 
-func newMasterState(logic masterLogic, cfg Config) *masterState {
+func newMasterState(logic masterLogic, cfg Config, phase string) *masterState {
 	return &masterState{
 		pending: taskHeap{fifo: cfg.RandomPairOrder},
 		seen:    make(map[int64]bool),
+		ctr:     newPhaseCounters(cfg.Metrics, phase),
 		logic:   logic,
 		cfg:     cfg,
 	}
@@ -127,13 +210,13 @@ func (ms *masterState) ingestPairs(pairs []PairItem) int {
 	for _, pr := range pairs {
 		key := pairKey(pr.A, pr.B)
 		if ms.seen[key] {
-			ms.stats.PairsDuplicate++
+			ms.ctr.duplicate.Inc()
 			continue
 		}
 		ms.seen[key] = true
 		enq, closure := ms.logic.filter(pr)
 		if closure {
-			ms.stats.PairsClosure++
+			ms.ctr.closure.Inc()
 			continue
 		}
 		if enq {
@@ -141,16 +224,17 @@ func (ms *masterState) ingestPairs(pairs []PairItem) int {
 			heap.Push(&ms.pending, taskEntry{PairItem: pr, seq: ms.seqno})
 		}
 	}
+	ms.ctr.queueDepth.SetMax(float64(ms.pending.Len()))
 	return len(pairs)
 }
 
 // absorbResults integrates worker alignment outcomes.
 func (ms *masterState) absorbResults(results []AlignOutcome) {
 	for _, r := range results {
-		ms.stats.PairsAligned++
-		ms.stats.Cells += r.Cells
+		ms.ctr.aligned.Inc()
+		ms.ctr.cells.Add(r.Cells)
 		if r.OK {
-			ms.stats.PairsPositive++
+			ms.ctr.positive.Inc()
 		}
 		ms.logic.absorb(r)
 	}
@@ -164,7 +248,7 @@ func (ms *masterState) popTasks(k int) []PairItem {
 		e := heap.Pop(&ms.pending).(taskEntry)
 		enq, closure := ms.logic.filter(e.PairItem)
 		if closure {
-			ms.stats.PairsClosure++
+			ms.ctr.closure.Inc()
 			continue
 		}
 		if enq {
@@ -179,14 +263,17 @@ func runMaster(c *mpi.Comm, ms *masterState) {
 	p := c.Size()
 	exhausted := make([]bool, p)
 	for {
-		ms.stats.Rounds++
+		ms.ctr.rounds.Inc()
 		for w := 1; w < p; w++ {
 			msg := c.Recv(w, tagWorker).Data.(WorkerMsg)
 			ms.absorbResults(msg.Results)
 			if msg.Exhausted {
 				exhausted[w] = true
 			}
-			ms.stats.PairsGenerated += int64(len(msg.Pairs))
+			ms.ctr.generated.Add(int64(len(msg.Pairs)))
+			if len(msg.Pairs) > 0 {
+				ms.ctr.batchPairs.Observe(int64(len(msg.Pairs)))
+			}
 			nops := ms.ingestPairs(msg.Pairs)
 			c.Advance(float64(nops+len(msg.Results)) * ms.cfg.Costs.SecPerPairFilter)
 		}
@@ -211,6 +298,9 @@ func runMaster(c *mpi.Comm, ms *masterState) {
 			if !done {
 				tasks = ms.popTasks(quota)
 			}
+			if len(tasks) > 0 {
+				ms.ctr.batchTasks.Observe(int64(len(tasks)))
+			}
 			c.Send(w, tagMaster, MasterMsg{Tasks: tasks, Done: done})
 		}
 		if done {
@@ -226,13 +316,13 @@ func runMaster(c *mpi.Comm, ms *masterState) {
 // the cache, recycling DP row and trace buffers across chunks and
 // rounds. The summed DP cells are returned so the caller can charge the
 // virtual clock ceil(cells/threads), the perfect-speedup model.
-func alignBatch(cache *pool.AlignerCache, threads int, set *seq.Set, wl workerLogic, tasks []PairItem, out []AlignOutcome) ([]AlignOutcome, int64) {
+func alignBatch(cache *pool.AlignerCache, threads int, set *seq.Set, wl workerLogic, tasks []PairItem, out []AlignOutcome, obs pool.Observer) ([]AlignOutcome, int64) {
 	if cap(out) < len(tasks) {
 		out = make([]AlignOutcome, len(tasks))
 	} else {
 		out = out[:len(tasks)]
 	}
-	pool.RunChunked(threads, len(tasks), func(lo, hi int) {
+	pool.RunChunkedObserved(threads, len(tasks), obs, func(lo, hi int) {
 		al := cache.Get()
 		for i := lo; i < hi; i++ {
 			out[i] = wl.alignPair(al, set, tasks[i])
@@ -247,9 +337,12 @@ func alignBatch(cache *pool.AlignerCache, threads int, set *seq.Set, wl workerLo
 }
 
 // runWorker drives the lockstep worker loop on ranks 1..p-1.
-func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg Config) {
+func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg Config, phase string) {
+	sp := cfg.Metrics.StartSpan(phase + "/exchange")
+	defer sp.End()
 	threads := max(1, cfg.Threads)
 	cache := pool.NewAlignerCache(cfg.Scoring)
+	obs := poolObserver(cfg.Metrics, phase, "align")
 	var results []AlignOutcome
 	exhausted := false
 	for {
@@ -264,7 +357,7 @@ func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg C
 			return
 		}
 		var cells int64
-		results, cells = alignBatch(cache, threads, set, wl, msg.Tasks, results)
+		results, cells = alignBatch(cache, threads, set, wl, msg.Tasks, results, obs)
 		c.Advance(float64(pool.CeilDiv(cells, threads)) * cfg.Costs.SecPerCell)
 	}
 }
@@ -274,10 +367,13 @@ func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg C
 func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src *pairSource, cfg Config) {
 	al := align.NewAligner(cfg.Scoring)
 	for {
-		ms.stats.Rounds++
+		ms.ctr.rounds.Inc()
 		pairs, exhausted := src.next(cfg.BatchPairs)
 		c.Advance(float64(len(pairs)) * cfg.Costs.SecPerPairGen)
-		ms.stats.PairsGenerated += int64(len(pairs))
+		ms.ctr.generated.Add(int64(len(pairs)))
+		if len(pairs) > 0 {
+			ms.ctr.batchPairs.Observe(int64(len(pairs)))
+		}
 		nops := ms.ingestPairs(pairs)
 		c.Advance(float64(nops) * cfg.Costs.SecPerPairFilter)
 		// One task at a time so each alignment outcome can eliminate
@@ -291,7 +387,7 @@ func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src *
 			}
 		}
 		if exhausted {
-			ms.stats.PairsRaw = src.raw
+			ms.ctr.raw.Add(src.raw)
 			return
 		}
 	}
@@ -300,47 +396,62 @@ func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src *
 // runPhase wires buckets, trees, and the master/worker/serial loops
 // together for one phase over the given sequence set. It returns the
 // master's stats on rank 0 (zero Stats elsewhere; callers broadcast what
-// they need).
-func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Config) (Stats, error) {
+// they need). Stats are a read-out of the phase's registry counters —
+// the registry is the one accumulation path.
+func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Config, phase string) (Stats, error) {
+	if cfg.Metrics == nil {
+		// Private registry so the counter-backed Stats still work for
+		// direct API callers that don't collect metrics.
+		cfg.Metrics = metrics.New(c.Rank(), c.Time)
+	}
 	start := c.Time()
 	buckets, err := suffixtree.Buckets(set, suffixtree.Options{MinMatch: cfg.Psi, PrefixLen: cfg.PrefixLen})
 	if err != nil {
 		return Stats{}, err
 	}
 	p := c.Size()
-	ms := newMasterState(ml, cfg)
+	ms := newMasterState(ml, cfg, phase)
 
 	if p == 1 {
 		own := make([]int, len(buckets))
 		for i := range own {
 			own[i] = i
 		}
-		trees, err := buildTrees(c, set, own, buckets, cfg)
+		trees, err := buildTrees(c, set, own, buckets, cfg, phase)
 		if err != nil {
 			return Stats{}, err
 		}
 		treeDone := c.Time()
+		sp := cfg.Metrics.StartSpan(phase + "/exchange")
 		runSerial(c, set, ms, wl, newPairSource(trees), cfg)
-		ms.stats.TreeTime = treeDone - start
-		ms.stats.PhaseTime = c.Time() - start
-		return ms.stats, nil
+		sp.End()
+		st := ms.ctr.stats()
+		st.TreeTime = treeDone - start
+		st.PhaseTime = c.Time() - start
+		return st, nil
 	}
 
 	// Workers own the buckets; the master owns the clustering state.
 	assign := suffixtree.AssignBuckets(buckets, p-1)
 	if c.Rank() == 0 {
+		sp := cfg.Metrics.StartSpan(phase + "/exchange")
 		runMaster(c, ms)
+		sp.End()
 		raw := c.ReduceInt64(0, 0, addInt64)
-		ms.stats.PairsRaw = raw
-		ms.stats.PhaseTime = c.MaxFloat64(c.Time()) - start
-		return ms.stats, nil
+		st := ms.ctr.stats()
+		st.PairsRaw = raw
+		st.PhaseTime = c.MaxFloat64(c.Time()) - start
+		return st, nil
 	}
-	trees, err := buildTrees(c, set, assign[c.Rank()-1], buckets, cfg)
+	trees, err := buildTrees(c, set, assign[c.Rank()-1], buckets, cfg, phase)
 	if err != nil {
 		return Stats{}, err
 	}
 	src := newPairSource(trees)
-	runWorker(c, set, wl, src, cfg)
+	runWorker(c, set, wl, src, cfg, phase)
+	// The enumerating ranks own the raw-pair counter; the master's Stats
+	// read-out gets the total via the reduction below.
+	cfg.Metrics.Counter(metrics.Name("pace_pairs_raw", "phase", phase)).Add(src.raw)
 	c.ReduceInt64(0, src.raw, addInt64)
 	c.MaxFloat64(c.Time())
 	return Stats{}, nil
@@ -358,7 +469,7 @@ func addInt64(a, b int64) int64 { return a + b }
 func RedundancyRemoval(c *mpi.Comm, set *seq.Set, cfg Config) ([]bool, Stats, error) {
 	cfg = cfg.withDefaults()
 	ml := &rrMaster{redundant: make([]bool, set.Len())}
-	st, err := runPhase(c, set, ml, rrWorker{params: cfg.Contain}, cfg)
+	st, err := runPhase(c, set, ml, rrWorker{params: cfg.Contain}, cfg, "rr")
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -390,7 +501,7 @@ func ConnectedComponents(c *mpi.Comm, set *seq.Set, keep []bool, cfg Config) ([]
 	sub, orig := set.Subset(ids)
 
 	ml := &ccMaster{uf: unionfind.New(sub.Len()), disableFilter: cfg.DisableClosureFilter}
-	st, err := runPhase(c, sub, ml, ccWorker{params: cfg.Overlap}, cfg)
+	st, err := runPhase(c, sub, ml, ccWorker{params: cfg.Overlap}, cfg, "ccd")
 	if err != nil {
 		return nil, Stats{}, err
 	}

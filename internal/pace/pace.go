@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"profam/internal/align"
+	"profam/internal/metrics"
 	"profam/internal/mpi"
 	"profam/internal/seq"
 	"profam/internal/unionfind"
@@ -101,6 +102,12 @@ type Config struct {
 	// FIFO instead of decreasing match-length order; used by the
 	// ablation benchmarks.
 	RandomPairOrder bool
+	// Metrics receives every phase counter, histogram and span; it is
+	// the single accumulation path behind Stats (which is a read-out of
+	// the registry taken at phase end). Each rank passes its own
+	// registry, built on its Comm clock. nil means a private throwaway
+	// registry per phase call — Stats still works, nothing is exported.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {

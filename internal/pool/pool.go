@@ -52,14 +52,29 @@ func CeilDiv(work int64, threads int) int64 {
 	return (work + int64(threads) - 1) / int64(threads)
 }
 
+// Observer is notified at the start of a pool run with the number of
+// queued work items and the thread bound the run will use. It lets the
+// metrics layer record pool queue depth without the pool depending on
+// it; a nil Observer is ignored.
+type Observer func(queued, threads int)
+
 // Run executes job(0..n-1) on at most `threads` goroutines and waits for
 // all of them. With threads <= 1 (or a single job) it runs in the caller
 // goroutine. A panic in any job is re-raised in the caller after all
 // goroutines have stopped, matching the serial behaviour the mpi
 // harnesses expect.
 func Run(threads, n int, job func(i int)) {
+	RunObserved(threads, n, nil, job)
+}
+
+// RunObserved is Run with an Observer notified of the queue depth before
+// any job starts.
+func RunObserved(threads, n int, obs Observer, job func(i int)) {
 	if n <= 0 {
 		return
+	}
+	if obs != nil {
+		obs(n, min(threads, n))
 	}
 	if threads > n {
 		threads = n
@@ -106,8 +121,18 @@ type panicValue struct{ v any }
 // job(lo, hi) for each chunk on the pool. Chunk boundaries depend only
 // on n and threads, never on timing.
 func RunChunked(threads, n int, job func(lo, hi int)) {
+	RunChunkedObserved(threads, n, nil, job)
+}
+
+// RunChunkedObserved is RunChunked with an Observer notified of the
+// queue depth — the n work *items*, not the chunk count — before any
+// chunk starts.
+func RunChunkedObserved(threads, n int, obs Observer, job func(lo, hi int)) {
 	if n <= 0 {
 		return
+	}
+	if obs != nil {
+		obs(n, min(threads, n))
 	}
 	if threads <= 1 {
 		job(0, n)

@@ -72,7 +72,7 @@ func TestResolve(t *testing.T) {
 	if got := Resolve(0, 1); got != DefaultThreads(1) {
 		t.Errorf("auto threads: got %d, want %d", got, DefaultThreads(1))
 	}
-	if DefaultThreads(1 << 20) != 1 {
+	if DefaultThreads(1<<20) != 1 {
 		t.Error("DefaultThreads must never drop below 1")
 	}
 }

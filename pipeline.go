@@ -2,6 +2,7 @@ package profam
 
 import (
 	"profam/internal/bipartite"
+	"profam/internal/metrics"
 	"profam/internal/mpi"
 	"profam/internal/pace"
 	"profam/internal/pool"
@@ -41,18 +42,31 @@ func (b familyBatch) WireSize() int {
 func RegisterWireTypes() {
 	pace.RegisterWireTypes()
 	mpi.RegisterType(familyBatch{})
+	mpi.RegisterType(metrics.Snapshot{})
+	mpi.RegisterType(metrics.Report{})
 }
 
 // runPipeline executes all four phases collectively on c. Every rank
 // returns the same *Result.
 func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+
+	// Every rank owns one metrics registry, clocked by its communicator:
+	// virtual seconds under the simulator (deterministic traces),
+	// wall-clock seconds otherwise. The registry is the single reporting
+	// path — phase Stats, transport volume and component counters all
+	// accumulate here and are merged into Result.Metrics at the end.
+	reg := metrics.New(c.Rank(), c.Time)
+	c.AttachMetrics(reg)
 	pcfg := cfg.paceConfig()
+	pcfg.Metrics = reg
 
 	res := &Result{NumInput: set.Len()}
 
 	// Phase 1: redundancy removal.
+	rrSpan := reg.StartSpan("rr")
 	keep, rrStats, err := pace.RedundancyRemoval(c, set, pcfg)
+	rrSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +79,9 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	}
 
 	// Phase 2: connected components over the non-redundant set.
+	ccdSpan := reg.StartSpan("ccd")
 	comp, ccStats, err := pace.ConnectedComponents(c, set, keep, pcfg)
+	ccdSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -93,26 +109,30 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 		cells int64 // B_d DP cells
 		pairs int64 // B_d pairs aligned
 		chars int64 // B_m word-extraction characters
-		ops   int64 // shingle min-hash operations
+		words int64 // B_m shared words (left vertices)
+		sh    shingle.Stats
 		err   error
 	}
 	jobs := make([]compJob, len(mine))
 	costs := pace.DefaultCostParams()
+	compObs := func(queued, threads int) {
+		reg.Histogram(metrics.Name("pool_queue_depth", "phase", "bgg", "site", "components")).
+			Observe(int64(queued))
+	}
 	t0 := c.Time()
-	pool.Run(threads, len(mine), func(i int) {
+	pool.RunObserved(threads, len(mine), compObs, func(i int) {
 		j := &jobs[i]
 		members := res.Components[mine[i]]
+		reg.Histogram("pipeline_component_size").Observe(int64(len(members)))
 		var g *bipartite.Graph
 		switch cfg.Reduction {
 		case DomainBased:
-			g, j.err = bipartite.BuildBm(set, members, bcfg)
+			var st bipartite.BuildStats
+			g, st, j.err = bipartite.BuildBm(set, members, bcfg)
 			if j.err != nil {
 				return
 			}
-			// Word extraction scans each member sequence once.
-			for _, id := range members {
-				j.chars += int64(set.Get(id).Len())
-			}
+			j.chars, j.words = st.Chars, st.Words
 		default:
 			var st bipartite.BuildStats
 			g, st, j.err = bipartite.BuildBd(set, members, bcfg)
@@ -122,8 +142,9 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 			j.cells, j.pairs = st.Cells, st.PairsAligned
 		}
 		subs, st := shingle.Detect(g, sp)
-		j.ops = st.WorkOps
+		j.sh = st
 		for _, d := range subs {
+			reg.Histogram("pipeline_family_size").Observe(int64(len(d.Members)))
 			j.fams = append(j.fams, wireFamily{
 				Members:    d.Members,
 				MeanDegree: d.MeanDegree,
@@ -139,7 +160,8 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	// Advance is a no-op and the elapsed time of the parallel section
 	// (t1-t0) is apportioned between the phases by modeled work.
 	var local []wireFamily
-	var cells, pairs, chars, ops int64
+	var cells, pairs, chars, words, ops int64
+	var sh shingle.Stats
 	for i := range jobs {
 		j := &jobs[i]
 		if j.err != nil {
@@ -148,9 +170,27 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 		cells += j.cells
 		pairs += j.pairs
 		chars += j.chars
-		ops += j.ops
+		words += j.words
+		ops += j.sh.WorkOps
+		sh.ShinglesPass1 += j.sh.ShinglesPass1
+		sh.ShinglesPass2 += j.sh.ShinglesPass2
+		sh.Candidates += j.sh.Candidates
+		sh.Reported += j.sh.Reported
 		local = append(local, j.fams...)
 	}
+	// Fold the phase 3+4 work of this rank's components into the
+	// registry; sums over ranks give the job totals since components are
+	// owned by exactly one rank.
+	reg.Counter("pipeline_components_owned").Add(int64(len(mine)))
+	reg.Counter(metrics.Name("bgg_pairs_aligned", "reduction", cfg.Reduction.String())).Add(pairs)
+	reg.Counter(metrics.Name("bgg_align_cells", "reduction", cfg.Reduction.String())).Add(cells)
+	reg.Counter(metrics.Name("bgg_word_chars", "reduction", cfg.Reduction.String())).Add(chars)
+	reg.Counter(metrics.Name("bgg_words", "reduction", cfg.Reduction.String())).Add(words)
+	reg.Counter("dsd_shingles_pass1").Add(int64(sh.ShinglesPass1))
+	reg.Counter("dsd_shingles_pass2").Add(int64(sh.ShinglesPass2))
+	reg.Counter("dsd_candidates").Add(int64(sh.Candidates))
+	reg.Counter("dsd_work_ops").Add(ops)
+	reg.Counter("pipeline_families_emitted").Add(int64(len(local)))
 	bggAdv := float64(pool.CeilDiv(cells, threads))*costs.SecPerCell +
 		float64(pool.CeilDiv(pairs, threads))*costs.SecPerPairGen +
 		float64(pool.CeilDiv(chars, threads))*costs.SecPerTreeChar
@@ -166,6 +206,11 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	wall := t1 - t0
 	bggTime := (t2 - t1) + wall*bggShare
 	dsdTime := (t3 - t2) + wall*(1-bggShare)
+	// Phases 3+4 interleave inside the per-component jobs, so their
+	// spans are recorded from the modeled apportionment rather than
+	// bracketed directly.
+	reg.RecordSpan("bgg", t0, t0+bggTime)
+	reg.RecordSpan("dsd", t0+bggTime, t0+bggTime+dsdTime)
 
 	// Gather families at rank 0, then share the final list.
 	gathered := c.Gather(0, familyBatch{Families: local})
@@ -193,6 +238,32 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 
 	res.BGGTime = c.MaxFloat64(bggTime)
 	res.DSDTime = c.MaxFloat64(dsdTime)
+
+	// Work-elimination ratios (the paper's headline heuristic-efficiency
+	// numbers) as gauges. Rank 0 holds the merged phase Stats, so it alone
+	// records them; gauge merge takes the max, making the value global.
+	if c.Rank() == 0 {
+		reg.Gauge(metrics.Name("work_elimination_ratio", "phase", "rr")).Set(res.RR.WorkReduction())
+		reg.Gauge(metrics.Name("work_elimination_ratio", "phase", "ccd")).Set(res.CCD.WorkReduction())
+	}
+
+	// Fold the per-rank registries into one job-wide report that every
+	// rank returns. The snapshot is taken after the last data collective so
+	// the transport counters cover the family exchange; the metrics
+	// gather/broadcast itself is necessarily outside its own accounting.
+	gathered = c.Gather(0, reg.Snapshot())
+	var rep *metrics.Report
+	if c.Rank() == 0 {
+		snaps := make([]metrics.Snapshot, len(gathered))
+		for i, s := range gathered {
+			snaps[i] = s.(metrics.Snapshot)
+		}
+		rep = metrics.Merge(snaps)
+	} else {
+		rep = &metrics.Report{}
+	}
+	rep2 := c.Bcast(0, *rep).(metrics.Report)
+	res.Metrics = &rep2
 	return res, nil
 }
 

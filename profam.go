@@ -30,6 +30,7 @@ import (
 
 	"profam/internal/align"
 	"profam/internal/bipartite"
+	"profam/internal/metrics"
 	"profam/internal/mpi"
 	"profam/internal/pace"
 	"profam/internal/pool"
@@ -273,6 +274,14 @@ type Result struct {
 	// BGGTime and DSDTime are the bipartite-generation and
 	// dense-subgraph phase times in seconds.
 	BGGTime, DSDTime float64
+
+	// Metrics is the job-wide observability report: every counter, gauge,
+	// histogram and phase span from all ranks, merged (counters summed,
+	// gauges maxed, histograms merged, spans folded per phase). Identical
+	// on every rank. Times are virtual seconds under RunSimulated and
+	// wall-clock seconds otherwise; Metrics.Canonical() strips the
+	// clock-derived fields, leaving the thread-count-independent part.
+	Metrics *metrics.Report
 }
 
 // SeqsInFamilies returns the number of sequences covered by families.
