@@ -290,6 +290,29 @@ func BenchmarkAlignBatchParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkAlignCascade measures the seed-anchored cascade over the
+// same promising-pair shape the workers see, sweeping the thread ladder.
+// cells is the DP work actually done; cells_ratio is the factor of
+// full-matrix cells the cascade eliminated (both are work checksums,
+// identical across thread counts).
+func BenchmarkAlignCascade(b *testing.B) {
+	set, _ := experiments.SetOfSize(120, 31)
+	pairs, err := experiments.BenchSeedPairs(set, 6, 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, th := range experiments.ThreadCounts() {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			var cells, full int64
+			for i := 0; i < b.N; i++ {
+				cells, full = experiments.AlignCascadeKernel(set, pairs, th)
+			}
+			b.ReportMetric(float64(cells), "cells")
+			b.ReportMetric(float64(full)/float64(cells), "cells_ratio")
+		})
+	}
+}
+
 // BenchmarkPipelineThreads runs the full wall-clock pipeline on two
 // in-process ranks while sweeping ThreadsPerRank, checking that the
 // family list is invariant and reporting the family count.

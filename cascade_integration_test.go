@@ -1,0 +1,114 @@
+package profam_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"profam"
+	"profam/internal/metrics"
+)
+
+// stripAlignCost removes the DP-cost series that legitimately differ
+// between the cascade and the exact-align escape hatch: the cascade
+// computes fewer cells (pace_align_cells, bgg_align_cells) and exports
+// its own stage counters (pace_cascade_*). Everything else — pair
+// counts, verdicts, batch shapes, queue depths — must be byte-identical.
+func stripAlignCost(rep *metrics.Report) {
+	drop := func(m map[string]int64) {
+		for k := range m {
+			if strings.HasPrefix(k, "pace_align_cells") ||
+				strings.HasPrefix(k, "pace_cascade_") ||
+				strings.HasPrefix(k, "bgg_align_cells") {
+				delete(m, k)
+			}
+		}
+	}
+	drop(rep.Counters)
+	for i := range rep.Ranks {
+		drop(rep.Ranks[i].Counters)
+	}
+}
+
+func canonicalJSON(t *testing.T, rep *metrics.Report) string {
+	t.Helper()
+	c := rep.Canonical()
+	stripAlignCost(c)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestCascadeDeterminism: with the cascade on (default) and off
+// (-exact-align), the pipeline must produce byte-identical families and
+// canonical metrics — modulo the DP-cost series above — under the
+// simulator at 1 and 4 ranks. This is the cascade's contract: it only
+// changes how much of each DP matrix is computed, never a verdict.
+func TestCascadeDeterminism(t *testing.T) {
+	set, _ := integrationSet()
+	base := profam.Config{Psi: 6, MinComponentSize: 3, MinFamilySize: 3}
+	for _, p := range []int{1, 4} {
+		t.Run(fmt.Sprintf("ranks=%d", p), func(t *testing.T) {
+			exact := base
+			exact.ExactAlign = true
+			resC, _, err := profam.RunSet(set, p, true, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resE, _, err := profam.RunSet(set, p, true, exact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(resC.Families) != fmt.Sprint(resE.Families) {
+				t.Fatal("cascade changed the families")
+			}
+			if fmt.Sprint(resC.Keep) != fmt.Sprint(resE.Keep) {
+				t.Fatal("cascade changed the redundancy-removal keep mask")
+			}
+			if fmt.Sprint(resC.Components) != fmt.Sprint(resE.Components) {
+				t.Fatal("cascade changed the connected components")
+			}
+			jc := canonicalJSON(t, resC.Metrics)
+			je := canonicalJSON(t, resE.Metrics)
+			if jc != je {
+				t.Errorf("canonical metrics differ between cascade and exact-align:\ncascade:\n%s\nexact:\n%s", jc, je)
+			}
+		})
+	}
+}
+
+// TestCascadeCellsReduction: on the integration corpus the cascade must
+// eliminate at least 3× of the alignment DP cells and improve the
+// virtual makespan. The numbers logged here are the ones quoted in
+// CHANGES.md.
+func TestCascadeCellsReduction(t *testing.T) {
+	set, _ := integrationSet()
+	cfg := profam.Config{Psi: 6, MinComponentSize: 3, MinFamilySize: 3}
+	exact := cfg
+	exact.ExactAlign = true
+	resC, spanC, err := profam.RunSet(set, 1, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resE, spanE, err := profam.RunSet(set, 1, true, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsC := resC.RR.Cells + resC.CCD.Cells
+	cellsE := resE.RR.Cells + resE.CCD.Cells
+	if cellsC == 0 || cellsE == 0 {
+		t.Fatalf("no cells recorded: cascade=%d exact=%d", cellsC, cellsE)
+	}
+	ratio := float64(cellsE) / float64(cellsC)
+	t.Logf("pace_align_cells: exact=%d cascade=%d (%.1fx reduction); makespan exact=%.3fs cascade=%.3fs",
+		cellsE, cellsC, ratio, spanE, spanC)
+	if ratio < 3 {
+		t.Errorf("cascade eliminates only %.2fx of DP cells, want >= 3x", ratio)
+	}
+	if spanC >= spanE {
+		t.Errorf("virtual makespan did not improve: cascade %.4fs vs exact %.4fs", spanC, spanE)
+	}
+}

@@ -41,10 +41,14 @@ import (
 
 // fileFormat is the BENCH_results.json schema.
 type fileFormat struct {
-	Date       string             `json:"date"`
-	GoVersion  string             `json:"go_version"`
-	NumCPU     int                `json:"num_cpu"`
-	Benchmarks map[string]float64 `json:"benchmarks_ns_per_op"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+	// CellsEliminatedRatio is full-matrix DP cells / cascade DP cells on
+	// the AlignCascade kernel's pair batch (work checksum, not timing).
+	CellsEliminatedRatio float64            `json:"cells_eliminated_ratio,omitempty"`
+	Benchmarks           map[string]float64 `json:"benchmarks_ns_per_op"`
 }
 
 func main() {
@@ -86,9 +90,26 @@ func main() {
 		log.Printf("%-40s %12d ns/op  (%d iters)", name, r.NsPerOp(), r.N)
 	}
 
+	if runtime.NumCPU() == 1 {
+		log.Print("WARNING: num_cpu=1 — thread-ladder kernels cannot speed up on this host; do not read flat threads=N curves as a missing parallel speedup")
+	}
+
 	alignSet, _ := experiments.SetOfSize(120, 31)
 	pairs := experiments.BenchPairs(alignSet, 2048)
+	seedPairs, err := experiments.BenchSeedPairs(alignSet, 6, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
 	pipeSet, _ := experiments.SetOfSize(300, 47)
+
+	// The cells-eliminated ratio is a work checksum, identical for every
+	// thread count; one serial kernel run pins it.
+	cascadeCells, fullCells := experiments.AlignCascadeKernel(alignSet, seedPairs, 1)
+	var cellsRatio float64
+	if cascadeCells > 0 {
+		cellsRatio = float64(fullCells) / float64(cascadeCells)
+	}
+	log.Printf("cascade cells: %d vs %d full-matrix (%.1fx eliminated)", cascadeCells, fullCells, cellsRatio)
 
 	calibrate := func() float64 {
 		r := testing.Benchmark(func(b *testing.B) {
@@ -118,6 +139,14 @@ func main() {
 				experiments.AlignBatchKernel(alignSet, pairs, th)
 			}
 		})
+		record(fmt.Sprintf("AlignCascade/threads=%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				experiments.AlignCascadeKernel(alignSet, seedPairs, th)
+			}
+		})
+		// PipelineThreads runs with the seed-anchored cascade (the
+		// pipeline default); PipelineExact keeps the full-matrix
+		// reference visible in the trajectory at one thread count.
 		record(fmt.Sprintf("PipelineThreads/threads=%d", th), func(b *testing.B) {
 			cfg := experiments.PipelineConfig()
 			cfg.ThreadsPerRank = th
@@ -128,16 +157,26 @@ func main() {
 			}
 		})
 	}
+	record("PipelineExact/threads=1", func(b *testing.B) {
+		cfg := experiments.PipelineConfig()
+		cfg.ThreadsPerRank = 1
+		cfg.ExactAlign = true
+		for i := 0; i < b.N; i++ {
+			if _, _, err := profam.RunSet(pipeSet, 2, false, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	if err := ctx.Err(); err != nil {
 		log.Fatalf("run aborted: %v (%d benchmarks completed)", err, len(results))
 	}
 
 	if *compare != "" {
-		os.Exit(compareBaseline(*compare, results, *tolerance, noise, explicitOut(), *out))
+		os.Exit(compareBaseline(*compare, results, cellsRatio, *tolerance, noise, explicitOut(), *out))
 	}
 
-	writeResults(*out, results)
+	writeResults(*out, results, cellsRatio)
 }
 
 // explicitOut reports whether -out was set on the command line (as
@@ -153,12 +192,14 @@ func explicitOut() bool {
 	return set
 }
 
-func writeResults(path string, results map[string]float64) {
+func writeResults(path string, results map[string]float64, cellsRatio float64) {
 	payload := fileFormat{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		Benchmarks: results,
+		Date:                 time.Now().UTC().Format(time.RFC3339),
+		GoVersion:            runtime.Version(),
+		NumCPU:               runtime.NumCPU(),
+		GoMaxProcs:           runtime.GOMAXPROCS(0),
+		CellsEliminatedRatio: cellsRatio,
+		Benchmarks:           results,
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -178,7 +219,7 @@ func writeResults(path string, results map[string]float64) {
 // compareBaseline checks the fresh results against the baseline file and
 // returns the process exit code: 0 when every shared kernel is within
 // tolerance (or the host is too noisy to judge), 1 on regression.
-func compareBaseline(path string, results map[string]float64, tolerance, noise float64, writeOut bool, outPath string) int {
+func compareBaseline(path string, results map[string]float64, cellsRatio, tolerance, noise float64, writeOut bool, outPath string) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		log.Print(err)
@@ -209,7 +250,7 @@ func compareBaseline(path string, results map[string]float64, tolerance, noise f
 		log.Printf("%-40s %12.0f -> %12.0f ns/op  (%+.1f%%)  %s", name, old, now, 100*ratio, status)
 	}
 	if writeOut {
-		writeResults(outPath, results)
+		writeResults(outPath, results, cellsRatio)
 	}
 	if regressed > 0 {
 		log.Printf("%d kernel(s) regressed beyond %.0f%%", regressed, 100*tolerance)

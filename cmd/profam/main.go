@@ -100,6 +100,8 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 0, "shingle permutation seed (0 = default)")
 	flag.IntVar(&cfg.ThreadsPerRank, "threads", 0,
 		"goroutines per rank for alignment/index/component work (0 = auto: max(1, NumCPU/p); simulated runs default to 1)")
+	flag.BoolVar(&cfg.ExactAlign, "exact-align", false,
+		"disable the seed-anchored alignment cascade and run full-matrix DP on every promising pair (identical output, more work)")
 	flag.Parse()
 
 	if *in == "" {

@@ -130,8 +130,12 @@ type Aligner struct {
 
 	// two rolling rows of scores per state
 	m0, m1, x0, x1, y0, y1 []int32
-	trace                  []byte // (lenA+1) * (lenB+1)
+	trace                  []byte // (lenA+1) * (lenB+1); allocated lazily by Align only
 	stride                 int
+
+	// cached max(0, largest substitution score), for cascade bounds
+	maxSub    int32
+	maxSubSet bool
 
 	// Stats counts DP cells computed across the Aligner's lifetime; the
 	// pipeline uses it as the machine-independent work measure that the
@@ -161,7 +165,9 @@ func geomCap(need, have int) int {
 	return need
 }
 
-func (al *Aligner) grow(n, m int) {
+// growRows sizes only the six DP row buffers. Score-only kernels use it
+// so a stream of rejected pairs never allocates the O(n·m) trace matrix.
+func (al *Aligner) growRows(m int) {
 	if cap(al.m0) < m+1 {
 		c := geomCap(m+1, cap(al.m0))
 		al.m0 = make([]int32, c)
@@ -177,6 +183,10 @@ func (al *Aligner) grow(n, m int) {
 	al.x1 = al.x1[:m+1]
 	al.y0 = al.y0[:m+1]
 	al.y1 = al.y1[:m+1]
+}
+
+func (al *Aligner) grow(n, m int) {
+	al.growRows(m)
 	need := (n + 1) * (m + 1)
 	if cap(al.trace) < need {
 		al.trace = make([]byte, geomCap(need, cap(al.trace)))
@@ -405,7 +415,7 @@ func (al *Aligner) LocalScore(a, b []byte) int32 {
 	if n == 0 || m == 0 {
 		return 0
 	}
-	al.grow(0, m)
+	al.growRows(m)
 	al.Cells += int64(n) * int64(m)
 	open, ext := al.sc.GapOpen, al.sc.GapExtend
 	h, e := al.m0, al.x0 // reuse scratch: h = M row, e = Y (horizontal) carry
@@ -436,6 +446,84 @@ func (al *Aligner) LocalScore(a, b []byte) int32 {
 				best = hv
 			}
 		}
+	}
+	return best
+}
+
+// FitScore computes only the score of Align(a, b, Fit) — all of a
+// aligned against a substring of b — in O(m) memory, with no trace
+// allocation. It mirrors the Fit recurrence of Align exactly (fresh
+// starts at i==1, the gap-only column 0, best over the M and X states of
+// the last row), so FitScore(a,b) == Align(a,b,Fit).Score always.
+func (al *Aligner) FitScore(a, b []byte) int32 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	al.growRows(m)
+	al.Cells += int64(n) * int64(m)
+	open, ext := al.sc.GapOpen, al.sc.GapExtend
+
+	mPrev, mCur := al.m0, al.m1
+	xPrev, xCur := al.x0, al.x1
+	yPrev, yCur := al.y0, al.y1
+	for j := 0; j <= m; j++ {
+		mPrev[j], xPrev[j], yPrev[j] = negInf, negInf, negInf
+	}
+	best := negInf
+	for i := 1; i <= n; i++ {
+		row := al.sc.Sub[a[i-1]-'A']
+		mCur[0], yCur[0] = negInf, negInf
+		if i == 1 {
+			xCur[0] = -open
+		} else {
+			xCur[0] = xPrev[0] - ext
+		}
+		fresh := i == 1
+		for j := 1; j <= m; j++ {
+			bm := mPrev[j-1]
+			if xPrev[j-1] > bm {
+				bm = xPrev[j-1]
+			}
+			if yPrev[j-1] > bm {
+				bm = yPrev[j-1]
+			}
+			if fresh && 0 >= bm {
+				bm = 0
+			}
+			mCur[j] = bm + int32(row[b[j-1]-'A'])
+
+			bx := mPrev[j] - open
+			if v := xPrev[j] - ext; v > bx {
+				bx = v
+			}
+			if v := yPrev[j] - open; v > bx {
+				bx = v
+			}
+			if fresh && -open > bx {
+				bx = -open
+			}
+			xCur[j] = bx
+
+			by := mCur[j-1] - open
+			if v := yCur[j-1] - ext; v > by {
+				by = v
+			}
+			yCur[j] = by
+		}
+		if i == n {
+			for j := 0; j <= m; j++ {
+				if mCur[j] > best {
+					best = mCur[j]
+				}
+				if xCur[j] > best {
+					best = xCur[j]
+				}
+			}
+		}
+		mPrev, mCur = mCur, mPrev
+		xPrev, xCur = xCur, xPrev
+		yPrev, yCur = yCur, yPrev
 	}
 	return best
 }

@@ -69,6 +69,31 @@ func TestAlignAllocsSteadyState(t *testing.T) {
 	}
 }
 
+// TestScoreKernelsLazyTrace: the score-only kernels must never touch the
+// O(n·m) trace matrix — a rejected pair costs O(m) scratch, not a full
+// traceback allocation. Only Align is allowed to materialize the trace.
+func TestScoreKernelsLazyTrace(t *testing.T) {
+	al := NewAligner(nil)
+	rng := rand.New(rand.NewSource(7))
+	a, b := randomResidues(rng, 150), randomResidues(rng, 170)
+	al.LocalScore(a, b)
+	al.FitScore(a, b)
+	al.LocalScoreBanded(a, b, 8)
+	al.LocalScoreBandedAnchored(a, b, 5, 8)
+	al.FitScoreCertified(a, b, SeedMatch{PosA: 3, PosB: 3, Len: 10})
+	al.fitMatchesPossible(a, b, -10, 30, 140)
+	if cap(al.trace) != 0 {
+		t.Errorf("score-only kernels allocated the trace matrix (cap %d), want lazy allocation", cap(al.trace))
+	}
+	if n := testing.AllocsPerRun(50, func() { al.FitScore(a, b) }); n > 0 {
+		t.Errorf("warm FitScore allocates %.1f objects per call, want 0", n)
+	}
+	al.Align(a, b, Local)
+	if cap(al.trace) == 0 {
+		t.Error("Align must allocate the trace for traceback")
+	}
+}
+
 // TestShrinkThenGrowReusesTrace: a wide pair after a narrow one must not
 // lose the trace capacity bought earlier.
 func TestShrinkThenGrowReusesTrace(t *testing.T) {

@@ -10,17 +10,31 @@ package align
 // pairs whose promising maximal match pins them near one diagonal can be
 // rejected in O(band·n) instead of O(n·m).
 func (al *Aligner) LocalScoreBanded(a, b []byte, band int) int32 {
+	if band < 1 {
+		band = 1
+	}
+	return al.LocalScoreBandedAnchored(a, b, 0, band)
+}
+
+// LocalScoreBandedAnchored is LocalScoreBanded centered on an arbitrary
+// diagonal: only cells with j−i ∈ [diag−band, diag+band] are evaluated.
+// The natural anchor is the seed diagonal of the maximal match that made
+// the pair promising (SeedMatch.Diag). The same sandwich holds: the
+// result never exceeds LocalScore and equals it once the band covers the
+// whole matrix.
+func (al *Aligner) LocalScoreBandedAnchored(a, b []byte, diag, band int) int32 {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return 0
 	}
-	if band < 1 {
-		band = 1
+	if band < 0 {
+		band = 0
 	}
-	if band >= n || band >= m {
+	dlo, dhi := diag-band, diag+band
+	if dlo <= -n && dhi >= m {
 		return al.LocalScore(a, b)
 	}
-	al.grow(0, m)
+	al.growRows(m)
 	open, ext := al.sc.GapOpen, al.sc.GapExtend
 	h, e := al.m0, al.x0
 	for j := 0; j <= m; j++ {
@@ -28,7 +42,7 @@ func (al *Aligner) LocalScoreBanded(a, b []byte, band int) int32 {
 	}
 	best := int32(0)
 	for i := 1; i <= n; i++ {
-		lo, hi := i-band, i+band
+		lo, hi := i+dlo, i+dhi
 		if lo < 1 {
 			lo = 1
 		}
@@ -36,16 +50,19 @@ func (al *Aligner) LocalScoreBanded(a, b []byte, band int) int32 {
 			hi = m
 		}
 		if lo > m {
-			break
+			break // band moved past the right edge; later rows only more so
+		}
+		if hi < lo {
+			continue // band not yet inside the matrix
 		}
 		al.Cells += int64(hi - lo + 1)
 		row := al.sc.Sub[a[i-1]-'A']
 		f := negInf
-		diag := h[lo-1]
+		diagH := h[lo-1]
 		for j := lo; j <= hi; j++ {
 			e[j] = max32(h[j]-open, e[j]-ext)
 			f = max32(h[j-1]-open, f-ext)
-			hv := diag + int32(row[b[j-1]-'A'])
+			hv := diagH + int32(row[b[j-1]-'A'])
 			if e[j] > hv {
 				hv = e[j]
 			}
@@ -55,7 +72,7 @@ func (al *Aligner) LocalScoreBanded(a, b []byte, band int) int32 {
 			if hv < 0 {
 				hv = 0
 			}
-			diag = h[j]
+			diagH = h[j]
 			h[j] = hv
 			if hv > best {
 				best = hv

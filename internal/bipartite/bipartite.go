@@ -93,6 +93,10 @@ type Config struct {
 	Edge align.OverlapParams
 	// W is the word length for B_m (default 10, per the paper's w ≈ 10).
 	W int
+	// ExactAlign disables the seed-anchored cascade for B_d edge
+	// alignments, running every candidate pair through the full-matrix
+	// Overlaps predicate. Edges are identical either way.
+	ExactAlign bool
 }
 
 func (c Config) withDefaults() Config {
@@ -158,7 +162,15 @@ func BuildBd(set *seq.Set, members []int, cfg Config) (*Graph, BuildStats, error
 		}
 		seen[key] = true
 		st.PairsAligned++
-		if ok, _ := al.Overlaps(sub.Get(int(p.SeqA)).Res, sub.Get(int(p.SeqB)).Res, cfg.Edge); ok {
+		a, b := sub.Get(int(p.SeqA)).Res, sub.Get(int(p.SeqB)).Res
+		var ok bool
+		if cfg.ExactAlign {
+			ok, _ = al.Overlaps(a, b, cfg.Edge)
+		} else {
+			seed := align.SeedMatch{PosA: int(p.OffA), PosB: int(p.OffB), Len: int(p.Len)}
+			ok, _ = al.OverlapsCascade(a, b, cfg.Edge, seed)
+		}
+		if ok {
 			g.Adj[p.SeqA] = append(g.Adj[p.SeqA], p.SeqB)
 			g.Adj[p.SeqB] = append(g.Adj[p.SeqB], p.SeqA)
 		}

@@ -7,6 +7,7 @@ import (
 	"profam/internal/align"
 	"profam/internal/pool"
 	"profam/internal/seq"
+	"profam/internal/suffixtree"
 )
 
 // BenchPairs returns a deterministic all-vs-all pair list over the set,
@@ -41,6 +42,63 @@ func AlignBatchKernel(set *seq.Set, pairs [][2]int, threads int) int64 {
 		cache.Put(al)
 	})
 	return cells.Load()
+}
+
+// SeedPair is a promising pair together with its maximal-match seed —
+// the input shape the alignment cascade consumes.
+type SeedPair struct {
+	A, B int
+	Seed align.SeedMatch
+}
+
+// BenchSeedPairs enumerates deduplicated promising pairs (sharing a
+// maximal match of length ≥ psi) with their seed coordinates, truncated
+// to maxPairs, for the cascade benchmarks.
+func BenchSeedPairs(set *seq.Set, psi, maxPairs int) ([]SeedPair, error) {
+	trees, err := suffixtree.Build(set, suffixtree.Options{MinMatch: psi})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int64]bool{}
+	var out []SeedPair
+	suffixtree.MergedPairs(trees, func(p suffixtree.Pair) bool {
+		key := int64(p.SeqA)<<32 | int64(uint32(p.SeqB))
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		out = append(out, SeedPair{A: int(p.SeqA), B: int(p.SeqB),
+			Seed: align.SeedMatch{PosA: int(p.OffA), PosB: int(p.OffB), Len: int(p.Len)}})
+		return len(out) < maxPairs
+	})
+	return out, nil
+}
+
+// AlignCascadeKernel runs the seed-anchored containment cascade (the
+// redundancy-removal predicate, the pipeline's dominant aligned-pair
+// volume and the stage where the certified rejects fire) over the pair
+// batch on a bounded goroutine pool. It returns (cells, fullCells): the
+// DP cells actually computed and what the exact full-matrix predicate
+// would have cost on the same pairs — fullCells/cells is the
+// cells-eliminated ratio.
+func AlignCascadeKernel(set *seq.Set, pairs []SeedPair, threads int) (int64, int64) {
+	cache := pool.NewAlignerCache(nil)
+	params := align.DefaultContainParams()
+	var cells, full atomic.Int64
+	pool.RunChunked(threads, len(pairs), func(lo, hi int) {
+		al := cache.Get()
+		before := al.Cells
+		var f int64
+		for i := lo; i < hi; i++ {
+			a, b := set.Get(pairs[i].A), set.Get(pairs[i].B)
+			al.EitherContainedCascade(a.Res, b.Res, params, pairs[i].Seed)
+			f += int64(len(a.Res)) * int64(len(b.Res))
+		}
+		cells.Add(al.Cells - before)
+		full.Add(f)
+		cache.Put(al)
+	})
+	return cells.Load(), full.Load()
 }
 
 // ThreadCounts returns the deduplicated ascending benchmark ladder

@@ -27,26 +27,55 @@ type phaseCounters struct {
 	batchTasks                *metrics.Histogram // alignment tasks per master→worker batch
 	batchPairs                *metrics.Histogram // promising pairs per worker→master batch
 	queueDepth                *metrics.Gauge     // high-water mark of the master's pending heap
-	base                      Stats
+	// cascadeStage[s] counts pairs decided by cascade stage s
+	// (prefilter/banded/full); cascadeFullCells accumulates what those
+	// pairs would have cost under the exact full-matrix predicates, so
+	// cells-eliminated = cascadeFullCells − pace_align_cells. The series
+	// only appear with the cascade enabled (created lazily on first
+	// staged outcome) so an -exact-align run exports an identical
+	// metric set to the seed pipeline.
+	cascadeStage     map[align.Stage]*metrics.Counter
+	cascadeFullCells *metrics.Counter
+	reg              *metrics.Registry
+	phase            string
+	base             Stats
 }
 
 func newPhaseCounters(reg *metrics.Registry, phase string) phaseCounters {
 	l := func(n string) string { return metrics.Name(n, "phase", phase) }
 	pc := phaseCounters{
-		raw:        reg.Counter(l("pace_pairs_raw")),
-		generated:  reg.Counter(l("pace_pairs_generated")),
-		duplicate:  reg.Counter(l("pace_pairs_duplicate")),
-		closure:    reg.Counter(l("pace_pairs_closure")),
-		aligned:    reg.Counter(l("pace_pairs_aligned")),
-		positive:   reg.Counter(l("pace_pairs_positive")),
-		cells:      reg.Counter(l("pace_align_cells")),
-		rounds:     reg.Counter(l("pace_rounds")),
-		batchTasks: reg.Histogram(l("pace_batch_tasks")),
-		batchPairs: reg.Histogram(l("pace_batch_pairs")),
-		queueDepth: reg.Gauge(l("pace_queue_depth")),
+		raw:          reg.Counter(l("pace_pairs_raw")),
+		generated:    reg.Counter(l("pace_pairs_generated")),
+		duplicate:    reg.Counter(l("pace_pairs_duplicate")),
+		closure:      reg.Counter(l("pace_pairs_closure")),
+		aligned:      reg.Counter(l("pace_pairs_aligned")),
+		positive:     reg.Counter(l("pace_pairs_positive")),
+		cells:        reg.Counter(l("pace_align_cells")),
+		rounds:       reg.Counter(l("pace_rounds")),
+		batchTasks:   reg.Histogram(l("pace_batch_tasks")),
+		batchPairs:   reg.Histogram(l("pace_batch_pairs")),
+		queueDepth:   reg.Gauge(l("pace_queue_depth")),
+		cascadeStage: make(map[align.Stage]*metrics.Counter),
+		reg:          reg,
+		phase:        phase,
 	}
 	pc.base = pc.read()
 	return pc
+}
+
+// countStage records one cascade-decided pair.
+func (pc *phaseCounters) countStage(stage align.Stage, fullCells int64) {
+	c := pc.cascadeStage[stage]
+	if c == nil {
+		c = pc.reg.Counter(metrics.Name("pace_cascade_pairs",
+			"phase", pc.phase, "stage", stage.String()))
+		pc.cascadeStage[stage] = c
+	}
+	c.Inc()
+	if pc.cascadeFullCells == nil {
+		pc.cascadeFullCells = pc.reg.Counter(metrics.Name("pace_cascade_cells_full", "phase", pc.phase))
+	}
+	pc.cascadeFullCells.Add(fullCells)
 }
 
 // read returns the counters' current absolute values.
@@ -137,7 +166,8 @@ func (s *pairSource) next(k int) ([]PairItem, bool) {
 				key := pairKey(p.SeqA, p.SeqB)
 				if !s.seen[key] {
 					s.seen[key] = true
-					s.buf = append(s.buf, PairItem{A: p.SeqA, B: p.SeqB, Len: p.Len})
+					s.buf = append(s.buf, PairItem{A: p.SeqA, B: p.SeqB,
+						OffA: p.OffA, OffB: p.OffB, Len: p.Len})
 				}
 				return true
 			})
@@ -235,6 +265,9 @@ func (ms *masterState) absorbResults(results []AlignOutcome) {
 		ms.ctr.cells.Add(r.Cells)
 		if r.OK {
 			ms.ctr.positive.Inc()
+		}
+		if r.Stage != 0 {
+			ms.ctr.countStage(align.Stage(r.Stage), r.FullCells)
 		}
 		ms.logic.absorb(r)
 	}
@@ -469,7 +502,7 @@ func addInt64(a, b int64) int64 { return a + b }
 func RedundancyRemoval(c *mpi.Comm, set *seq.Set, cfg Config) ([]bool, Stats, error) {
 	cfg = cfg.withDefaults()
 	ml := &rrMaster{redundant: make([]bool, set.Len())}
-	st, err := runPhase(c, set, ml, rrWorker{params: cfg.Contain}, cfg, "rr")
+	st, err := runPhase(c, set, ml, rrWorker{params: cfg.Contain, exact: cfg.ExactAlign}, cfg, "rr")
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -501,7 +534,7 @@ func ConnectedComponents(c *mpi.Comm, set *seq.Set, keep []bool, cfg Config) ([]
 	sub, orig := set.Subset(ids)
 
 	ml := &ccMaster{uf: unionfind.New(sub.Len()), disableFilter: cfg.DisableClosureFilter}
-	st, err := runPhase(c, sub, ml, ccWorker{params: cfg.Overlap}, cfg, "ccd")
+	st, err := runPhase(c, sub, ml, ccWorker{params: cfg.Overlap, exact: cfg.ExactAlign}, cfg, "ccd")
 	if err != nil {
 		return nil, Stats{}, err
 	}

@@ -102,6 +102,12 @@ type Config struct {
 	// FIFO instead of decreasing match-length order; used by the
 	// ablation benchmarks.
 	RandomPairOrder bool
+	// ExactAlign disables the seed-anchored alignment cascade and runs
+	// every assigned pair through the full-matrix predicates. Verdicts
+	// are identical either way (the cascade only takes provably-safe
+	// shortcuts); this is the escape hatch and the reference for the
+	// determinism tests.
+	ExactAlign bool
 	// Metrics receives every phase counter, histogram and span; it is
 	// the single accumulation path behind Stats (which is a read-out of
 	// the registry taken at phase end). Each rank passes its own
@@ -172,10 +178,14 @@ func (s Stats) WorkReduction() float64 {
 
 // --- wire types -------------------------------------------------------
 
-// PairItem is one promising pair (sequence IDs, maximal match length).
+// PairItem is one promising pair: sequence IDs plus the coordinates of
+// the maximal match that made it promising (the seed). OffA/OffB locate
+// the match start within each sequence; the cascade anchors its banded
+// kernels on the seed diagonal.
 type PairItem struct {
-	A, B int32
-	Len  int32
+	A, B       int32
+	OffA, OffB int32
+	Len        int32
 }
 
 // AlignOutcome is a worker's verdict on one assigned pair.
@@ -183,7 +193,13 @@ type AlignOutcome struct {
 	A, B  int32
 	OK    bool // predicate passed
 	Which int8 // RR only: 0 if A is the contained side, 1 if B
+	// Stage records which cascade stage decided the pair (0 when the
+	// exact path ran instead; see align.Stage).
+	Stage int8
 	Cells int64
+	// FullCells is what the exact full-matrix predicate would have cost,
+	// so the master can report the cells the cascade eliminated.
+	FullCells int64
 }
 
 // WorkerMsg is the worker→master round payload.
@@ -194,7 +210,7 @@ type WorkerMsg struct {
 }
 
 // WireSize implements mpi.Sized.
-func (m WorkerMsg) WireSize() int { return 16 + 12*len(m.Pairs) + 24*len(m.Results) }
+func (m WorkerMsg) WireSize() int { return 16 + 20*len(m.Pairs) + 27*len(m.Results) }
 
 // MasterMsg is the master→worker round payload.
 type MasterMsg struct {
@@ -203,7 +219,7 @@ type MasterMsg struct {
 }
 
 // WireSize implements mpi.Sized.
-func (m MasterMsg) WireSize() int { return 16 + 12*len(m.Tasks) }
+func (m MasterMsg) WireSize() int { return 16 + 20*len(m.Tasks) }
 
 // RegisterWireTypes registers the phase payloads for the TCP transport.
 func RegisterWireTypes() {
@@ -306,13 +322,26 @@ func (m *rrMaster) absorb(r AlignOutcome) {
 	}
 }
 
-type rrWorker struct{ params align.ContainParams }
+type rrWorker struct {
+	params align.ContainParams
+	exact  bool
+}
 
 func (w rrWorker) alignPair(al *align.Aligner, set *seq.Set, p PairItem) AlignOutcome {
 	a, b := set.Get(int(p.A)), set.Get(int(p.B))
 	before := al.Cells
-	ok, which := al.EitherContained(a.Res, b.Res, w.params)
-	return AlignOutcome{A: p.A, B: p.B, OK: ok, Which: int8(which), Cells: al.Cells - before}
+	out := AlignOutcome{A: p.A, B: p.B,
+		FullCells: int64(len(a.Res)) * int64(len(b.Res))}
+	if w.exact {
+		ok, which := al.EitherContained(a.Res, b.Res, w.params)
+		out.OK, out.Which = ok, int8(which)
+	} else {
+		seed := align.SeedMatch{PosA: int(p.OffA), PosB: int(p.OffB), Len: int(p.Len)}
+		ok, which, stage := al.EitherContainedCascade(a.Res, b.Res, w.params, seed)
+		out.OK, out.Which, out.Stage = ok, int8(which), int8(stage)
+	}
+	out.Cells = al.Cells - before
+	return out
 }
 
 // --- connected component detection ---------------------------------------
@@ -335,11 +364,23 @@ func (m *ccMaster) absorb(r AlignOutcome) {
 	}
 }
 
-type ccWorker struct{ params align.OverlapParams }
+type ccWorker struct {
+	params align.OverlapParams
+	exact  bool
+}
 
 func (w ccWorker) alignPair(al *align.Aligner, set *seq.Set, p PairItem) AlignOutcome {
 	a, b := set.Get(int(p.A)), set.Get(int(p.B))
 	before := al.Cells
-	ok, _ := al.Overlaps(a.Res, b.Res, w.params)
-	return AlignOutcome{A: p.A, B: p.B, OK: ok, Cells: al.Cells - before}
+	out := AlignOutcome{A: p.A, B: p.B,
+		FullCells: int64(len(a.Res)) * int64(len(b.Res))}
+	if w.exact {
+		out.OK, _ = al.Overlaps(a.Res, b.Res, w.params)
+	} else {
+		seed := align.SeedMatch{PosA: int(p.OffA), PosB: int(p.OffB), Len: int(p.Len)}
+		ok, stage := al.OverlapsCascade(a.Res, b.Res, w.params, seed)
+		out.OK, out.Stage = ok, int8(stage)
+	}
+	out.Cells = al.Cells - before
+	return out
 }

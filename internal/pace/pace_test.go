@@ -445,7 +445,10 @@ func TestStatsString(t *testing.T) {
 
 func TestTaskHeapOrdering(t *testing.T) {
 	h := &taskHeap{}
-	items := []PairItem{{1, 2, 5}, {1, 3, 9}, {2, 3, 7}, {2, 4, 9}}
+	items := []PairItem{
+		{A: 1, B: 2, Len: 5}, {A: 1, B: 3, Len: 9},
+		{A: 2, B: 3, Len: 7}, {A: 2, B: 4, Len: 9},
+	}
 	for i, it := range items {
 		h.entries = append(h.entries, taskEntry{PairItem: it, seq: int64(i)})
 	}

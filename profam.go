@@ -116,6 +116,14 @@ type Config struct {
 	// suffix tree to the enhanced suffix array (same pair set, flatter
 	// memory profile).
 	UseESA bool
+
+	// ExactAlign disables the seed-anchored alignment cascade everywhere
+	// (RR, CCD and B_d edge discovery), running every promising pair
+	// through the full-matrix DP predicates. Families and canonical
+	// metrics are identical either way — the cascade only takes
+	// certified shortcuts — so this is purely an escape hatch and the
+	// reference arm for the determinism tests.
+	ExactAlign bool
 }
 
 func (c Config) withDefaults() Config {
@@ -180,14 +188,16 @@ func (c Config) paceConfig() pace.Config {
 		Threads:    c.ThreadsPerRank,
 		Contain:    align.ContainParams{MinIdentity: c.ContainIdentity, MinCoverage: c.ContainCoverage},
 		Overlap:    align.OverlapParams{MinSimilarity: c.OverlapSimilarity, MinLongCoverage: c.OverlapCoverage},
+		ExactAlign: c.ExactAlign,
 	}
 }
 
 func (c Config) bipartiteConfig() bipartite.Config {
 	return bipartite.Config{
-		Psi:  c.Psi,
-		Edge: align.OverlapParams{MinSimilarity: c.EdgeSimilarity, MinLongCoverage: c.OverlapCoverage},
-		W:    c.W,
+		Psi:        c.Psi,
+		Edge:       align.OverlapParams{MinSimilarity: c.EdgeSimilarity, MinLongCoverage: c.OverlapCoverage},
+		W:          c.W,
+		ExactAlign: c.ExactAlign,
 	}
 }
 
