@@ -47,8 +47,11 @@ type fileFormat struct {
 	GoMaxProcs int    `json:"go_maxprocs"`
 	// CellsEliminatedRatio is full-matrix DP cells / cascade DP cells on
 	// the AlignCascade kernel's pair batch (work checksum, not timing).
-	CellsEliminatedRatio float64            `json:"cells_eliminated_ratio,omitempty"`
-	Benchmarks           map[string]float64 `json:"benchmarks_ns_per_op"`
+	CellsEliminatedRatio float64 `json:"cells_eliminated_ratio,omitempty"`
+	// TraceOverheadRatio is traced/untraced ns/op on the threads=1
+	// pipeline kernel minus one — the fractional cost of event tracing.
+	TraceOverheadRatio float64            `json:"trace_overhead_ratio,omitempty"`
+	Benchmarks         map[string]float64 `json:"benchmarks_ns_per_op"`
 }
 
 func main() {
@@ -59,6 +62,7 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
 	compare := flag.String("compare", "", "baseline JSON file to gate against; exits 1 on any regression beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown per kernel in -compare mode")
+	traceTol := flag.Float64("trace-tolerance", 0.05, "allowed fractional tracing overhead on the threads=1 pipeline kernel in -compare mode")
 	timeout := flag.Duration("timeout", 15*time.Minute, "abort the whole run after this long")
 	flag.Parse()
 
@@ -167,16 +171,36 @@ func main() {
 			}
 		}
 	})
+	// PipelineTraced mirrors PipelineThreads/threads=1 with event tracing
+	// on; its ratio against the untraced kernel is the tracing overhead.
+	record("PipelineTraced/threads=1", func(b *testing.B) {
+		cfg := experiments.PipelineConfig()
+		cfg.ThreadsPerRank = 1
+		cfg.TraceCapacity = 1 << 15
+		for i := 0; i < b.N; i++ {
+			if _, _, err := profam.RunSet(pipeSet, 2, false, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 
 	if err := ctx.Err(); err != nil {
 		log.Fatalf("run aborted: %v (%d benchmarks completed)", err, len(results))
 	}
 
-	if *compare != "" {
-		os.Exit(compareBaseline(*compare, results, cellsRatio, *tolerance, noise, explicitOut(), *out))
+	var traceOverhead float64
+	if plain, ok := results["PipelineThreads/threads=1"]; ok && plain > 0 {
+		if traced, ok := results["PipelineTraced/threads=1"]; ok {
+			traceOverhead = traced/plain - 1
+			log.Printf("tracing overhead on threads=1 pipeline: %+.1f%%", 100*traceOverhead)
+		}
 	}
 
-	writeResults(*out, results, cellsRatio)
+	if *compare != "" {
+		os.Exit(compareBaseline(*compare, results, cellsRatio, traceOverhead, *tolerance, *traceTol, noise, explicitOut(), *out))
+	}
+
+	writeResults(*out, results, cellsRatio, traceOverhead)
 }
 
 // explicitOut reports whether -out was set on the command line (as
@@ -192,13 +216,14 @@ func explicitOut() bool {
 	return set
 }
 
-func writeResults(path string, results map[string]float64, cellsRatio float64) {
+func writeResults(path string, results map[string]float64, cellsRatio, traceOverhead float64) {
 	payload := fileFormat{
 		Date:                 time.Now().UTC().Format(time.RFC3339),
 		GoVersion:            runtime.Version(),
 		NumCPU:               runtime.NumCPU(),
 		GoMaxProcs:           runtime.GOMAXPROCS(0),
 		CellsEliminatedRatio: cellsRatio,
+		TraceOverheadRatio:   traceOverhead,
 		Benchmarks:           results,
 	}
 	f, err := os.Create(path)
@@ -218,8 +243,11 @@ func writeResults(path string, results map[string]float64, cellsRatio float64) {
 
 // compareBaseline checks the fresh results against the baseline file and
 // returns the process exit code: 0 when every shared kernel is within
-// tolerance (or the host is too noisy to judge), 1 on regression.
-func compareBaseline(path string, results map[string]float64, cellsRatio, tolerance, noise float64, writeOut bool, outPath string) int {
+// tolerance (or the host is too noisy to judge), 1 on regression. The
+// tracing-overhead gate needs no baseline — traced and untraced kernels
+// ran back to back in this same invocation — but it keeps its own noise
+// guard since traceTol is typically much tighter than tolerance.
+func compareBaseline(path string, results map[string]float64, cellsRatio, traceOverhead, tolerance, traceTol, noise float64, writeOut bool, outPath string) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		log.Print(err)
@@ -249,8 +277,17 @@ func compareBaseline(path string, results map[string]float64, cellsRatio, tolera
 		}
 		log.Printf("%-40s %12.0f -> %12.0f ns/op  (%+.1f%%)  %s", name, old, now, 100*ratio, status)
 	}
+	switch {
+	case noise > traceTol/2:
+		log.Printf("host too noisy (%.1f%% spread) to judge the %.0f%% tracing-overhead gate; skipping it", 100*noise, 100*traceTol)
+	case traceOverhead > traceTol:
+		log.Printf("tracing overhead %+.1f%% exceeds %.0f%% budget: REGRESSED", 100*traceOverhead, 100*traceTol)
+		regressed++
+	default:
+		log.Printf("tracing overhead %+.1f%% within %.0f%% budget", 100*traceOverhead, 100*traceTol)
+	}
 	if writeOut {
-		writeResults(outPath, results, cellsRatio)
+		writeResults(outPath, results, cellsRatio, traceOverhead)
 	}
 	if regressed > 0 {
 		log.Printf("%d kernel(s) regressed beyond %.0f%%", regressed, 100*tolerance)

@@ -68,6 +68,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    []SpanRecord
+	sink     func(SpanRecord)
 }
 
 // New returns an empty registry for the given rank. A nil clock pins
@@ -255,6 +256,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for b, n := range h.buckets {
 		s.Buckets[b] = n
 	}
+	s.fillQuantiles()
 	return s
 }
 
@@ -304,6 +306,24 @@ func (r *Registry) RecordSpan(name string, start, end float64) {
 	rec := SpanRecord{Name: name, Rank: r.rank, Start: start, End: end}
 	r.mu.Lock()
 	r.spans = append(r.spans, rec)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(rec)
+	}
+}
+
+// SetSpanSink installs a callback invoked (outside the registry lock)
+// with every span as it is recorded. The event tracer hooks in here so
+// its phase timeline carries exactly the spans the merged Report folds
+// into phase timings — the two views agree by construction. Pass nil to
+// detach.
+func (r *Registry) SetSpanSink(sink func(SpanRecord)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = sink
 	r.mu.Unlock()
 }
 

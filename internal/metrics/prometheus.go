@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the report in Prometheus text exposition
+// format 0.0.4. The registry's canonical "name{k=v,...}" form (built
+// with Name) maps directly onto Prometheus label syntax; histograms are
+// exported as summaries (quantile series plus _sum and _count). Output
+// is sorted by metric name, so exposition is deterministic.
+func (r *Report) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	typed := map[string]bool{}
+	emitType := func(base, typ string) {
+		if !typed[base] {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+			typed[base] = true
+		}
+	}
+	for _, n := range sortedKeys(r.Counters) {
+		base, labels := promSplit(n)
+		emitType(base, "counter")
+		fmt.Fprintf(&b, "%s%s %d\n", base, labels, r.Counters[n])
+	}
+	for _, n := range sortedKeys(r.Gauges) {
+		base, labels := promSplit(n)
+		emitType(base, "gauge")
+		fmt.Fprintf(&b, "%s%s %g\n", base, labels, r.Gauges[n])
+	}
+	for _, n := range sortedKeys(r.Histograms) {
+		h := r.Histograms[n]
+		base, labels := promSplit(n)
+		emitType(base, "summary")
+		for _, q := range [...]struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(&b, "%s%s %g\n", base, promAddLabel(labels, "quantile", q.q), q.v)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %d\n", base, labels, h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labels, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promSplit converts the registry's "name{k=v,...}" form into a
+// sanitized Prometheus metric name and a quoted label set ("" when the
+// name carries no labels).
+func promSplit(n string) (base, labels string) {
+	base = n
+	var inner string
+	if i := strings.IndexByte(n, '{'); i >= 0 {
+		base = n[:i]
+		inner = strings.TrimSuffix(n[i+1:], "}")
+	}
+	base = promSanitize(base)
+	if inner == "" {
+		return base, ""
+	}
+	var lb strings.Builder
+	lb.WriteByte('{')
+	for i, kv := range strings.Split(inner, ",") {
+		k, v, _ := strings.Cut(kv, "=")
+		if i > 0 {
+			lb.WriteByte(',')
+		}
+		fmt.Fprintf(&lb, "%s=%q", promSanitize(k), v)
+	}
+	lb.WriteByte('}')
+	return base, lb.String()
+}
+
+// promAddLabel appends one label to an already-rendered label set.
+func promAddLabel(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}
+
+// promSanitize maps a name onto the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promSanitize(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

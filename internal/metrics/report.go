@@ -4,16 +4,76 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
-// HistogramSnapshot is an immutable copy of one histogram.
+// HistogramSnapshot is an immutable copy of one histogram. P50/P95/P99
+// are quantile estimates interpolated from the log₂ buckets (exact to
+// within one bucket's width), refreshed whenever a snapshot is taken or
+// merged; they are derived from work-deterministic bucket counts, so
+// they survive Canonical.
 type HistogramSnapshot struct {
 	Count   int64
 	Sum     int64
 	Min     int64
 	Max     int64
+	P50     float64
+	P95     float64
+	P99     float64
 	Buckets map[int]int64 // bit-length bucket b counts values in [2^(b-1), 2^b)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the log₂ buckets by
+// linear interpolation inside the bucket holding the target rank,
+// clamped to the exact observed [Min, Max].
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := q * float64(h.Count)
+	if target < 1 {
+		target = 1
+	}
+	bkts := make([]int, 0, len(h.Buckets))
+	for b := range h.Buckets {
+		bkts = append(bkts, b)
+	}
+	sort.Ints(bkts)
+	cum := 0.0
+	est := float64(h.Max)
+	for _, b := range bkts {
+		n := float64(h.Buckets[b])
+		if cum+n >= target {
+			var lo, hi float64
+			if b == 0 {
+				// Bucket 0 holds values ≤ 0; Min is the only bound known.
+				lo, hi = float64(h.Min), 0
+				if hi < lo {
+					hi = lo
+				}
+			} else {
+				lo, hi = math.Ldexp(1, b-1), math.Ldexp(1, b)
+			}
+			est = lo + (target-cum)/n*(hi-lo)
+			break
+		}
+		cum += n
+	}
+	if est < float64(h.Min) {
+		est = float64(h.Min)
+	}
+	if est > float64(h.Max) {
+		est = float64(h.Max)
+	}
+	return est
+}
+
+// fillQuantiles refreshes the derived P50/P95/P99 fields.
+func (h *HistogramSnapshot) fillQuantiles() {
+	h.P50 = h.Quantile(0.50)
+	h.P95 = h.Quantile(0.95)
+	h.P99 = h.Quantile(0.99)
 }
 
 // Snapshot is an immutable copy of one rank's registry, suitable for
@@ -141,6 +201,7 @@ func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
 		for k, v := range b.Buckets {
 			out.Buckets[k] = v
 		}
+		out.fillQuantiles()
 		return out
 	}
 	out := a
@@ -157,6 +218,7 @@ func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
 	for k, v := range b.Buckets {
 		out.Buckets[k] += v
 	}
+	out.fillQuantiles()
 	return out
 }
 
@@ -281,8 +343,8 @@ func (r *Report) Table(w io.Writer) error {
 			if h.Count > 0 {
 				mean = float64(h.Sum) / float64(h.Count)
 			}
-			if err := p("%-46s n=%-8d mean=%-10.1f min=%-8d max=%d\n",
-				n, h.Count, mean, h.Min, h.Max); err != nil {
+			if err := p("%-46s n=%-8d mean=%-10.1f p50=%-8.0f p95=%-8.0f p99=%-8.0f min=%-8d max=%d\n",
+				n, h.Count, mean, h.P50, h.P95, h.P99, h.Min, h.Max); err != nil {
 				return err
 			}
 		}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"profam/internal/metrics"
+	"profam/internal/trace"
 )
 
 // Any is the wildcard value for Recv's from and tag arguments.
@@ -104,6 +105,9 @@ type Comm struct {
 	// Optional metric handles attached with AttachMetrics; nil-safe.
 	msgsSent, bytesSent *metrics.Counter
 	msgsRecv, bytesRecv *metrics.Counter
+
+	// Optional event tracer attached with AttachTracer; nil disables.
+	tracer *trace.Tracer
 }
 
 // Stats returns the communication counters accumulated so far (messages
@@ -121,6 +125,12 @@ func (c *Comm) AttachMetrics(reg *metrics.Registry) {
 	c.bytesRecv = reg.Counter(metrics.Name("mpi_bytes_recv", "transport", tn))
 }
 
+// AttachTracer routes this rank's message events — a send instant and a
+// recv-wait span per message, carrying peer and byte count — into tr,
+// which must be clocked by this rank's Time. Point-to-point traffic and
+// collective internals alike pass through; attaching nil detaches.
+func (c *Comm) AttachTracer(tr *trace.Tracer) { c.tracer = tr }
+
 // send/recv wrap the transport with volume accounting; every Comm path
 // (point-to-point and collectives) goes through them.
 func (c *Comm) send(to, tag int, data any) {
@@ -129,16 +139,28 @@ func (c *Comm) send(to, tag int, data any) {
 	c.stats.BytesSent += nb
 	c.msgsSent.Inc()
 	c.bytesSent.Add(nb)
+	if c.tracer != nil {
+		c.tracer.Instant(trace.CatComm, "send", "to", int64(to), "bytes", nb)
+	}
 	c.tr.send(to, tag, data)
 }
 
 func (c *Comm) recv(from, tag int) Message {
+	var t0 float64
+	if c.tracer != nil {
+		t0 = c.tr.time()
+	}
 	m := c.tr.recv(from, tag)
 	nb := int64(payloadBytes(m.Data))
 	c.stats.MsgsRecv++
 	c.stats.BytesRecv += nb
 	c.msgsRecv.Inc()
 	c.bytesRecv.Add(nb)
+	if c.tracer != nil {
+		// The span covers the blocked-in-recv wait; under simtime the
+		// virtual clock only moves while parked, so dur is the stall.
+		c.tracer.Span(trace.CatComm, "recv", t0, c.tr.time(), "from", int64(m.From), "bytes", nb)
+	}
 	return m
 }
 

@@ -11,6 +11,7 @@ import (
 	"profam/internal/pool"
 	"profam/internal/seq"
 	"profam/internal/suffixtree"
+	"profam/internal/trace"
 	"profam/internal/unionfind"
 )
 
@@ -219,6 +220,7 @@ type masterState struct {
 	pending taskHeap
 	seen    map[int64]bool
 	seqno   int64
+	merges  int64 // positive outcomes absorbed (union-find merges / redundancy marks)
 	ctr     phaseCounters
 	logic   masterLogic
 	cfg     Config
@@ -265,6 +267,7 @@ func (ms *masterState) absorbResults(results []AlignOutcome) {
 		ms.ctr.cells.Add(r.Cells)
 		if r.OK {
 			ms.ctr.positive.Inc()
+			ms.merges++
 		}
 		if r.Stage != 0 {
 			ms.ctr.countStage(align.Stage(r.Stage), r.FullCells)
@@ -294,11 +297,18 @@ func (ms *masterState) popTasks(k int) []PairItem {
 // runMaster drives the lockstep master loop on rank 0.
 func runMaster(c *mpi.Comm, ms *masterState) {
 	p := c.Size()
+	tr := ms.cfg.Trace
+	phase := ms.ctr.phase
 	exhausted := make([]bool, p)
+	var round int64
 	for {
+		round++
 		ms.ctr.rounds.Inc()
+		roundStart := tr.Now()
 		for w := 1; w < p; w++ {
 			msg := c.Recv(w, tagWorker).Data.(WorkerMsg)
+			tr.Instant(trace.CatMaster, phase+"/collect",
+				"pairs", int64(len(msg.Pairs)), "results", int64(len(msg.Results)))
 			ms.absorbResults(msg.Results)
 			if msg.Exhausted {
 				exhausted[w] = true
@@ -334,8 +344,17 @@ func runMaster(c *mpi.Comm, ms *masterState) {
 			if len(tasks) > 0 {
 				ms.ctr.batchTasks.Observe(int64(len(tasks)))
 			}
+			tr.Instant(trace.CatMaster, phase+"/dispatch",
+				"to", int64(w), "tasks", int64(len(tasks)))
 			c.Send(w, tagMaster, MasterMsg{Tasks: tasks, Done: done})
 		}
+		tr.Count(trace.CatMaster, phase+"/queue", int64(ms.pending.Len()))
+		tr.Count(trace.CatMaster, phase+"/merges", ms.merges)
+		tr.Span(trace.CatMaster, phase+"/round", roundStart, tr.Now(),
+			"round", round, "queue", int64(ms.pending.Len()))
+		ms.cfg.Log.Debug("master round",
+			"phase", phase, "round", round,
+			"queue", ms.pending.Len(), "merges", ms.merges, "t", c.Time())
 		if done {
 			return
 		}
@@ -373,6 +392,7 @@ func alignBatch(cache *pool.AlignerCache, threads int, set *seq.Set, wl workerLo
 func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg Config, phase string) {
 	sp := cfg.Metrics.StartSpan(phase + "/exchange")
 	defer sp.End()
+	tr := cfg.Trace
 	threads := max(1, cfg.Threads)
 	cache := pool.NewAlignerCache(cfg.Scoring)
 	obs := poolObserver(cfg.Metrics, phase, "align")
@@ -383,15 +403,26 @@ func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg C
 		if !exhausted {
 			pairs, exhausted = src.next(cfg.BatchPairs)
 			c.Advance(float64(len(pairs)) * cfg.Costs.SecPerPairGen)
+			var ex int64
+			if exhausted {
+				ex = 1
+			}
+			tr.Instant(trace.CatWorker, phase+"/pairgen",
+				"pairs", int64(len(pairs)), "exhausted", ex)
 		}
 		c.Send(0, tagWorker, WorkerMsg{Pairs: pairs, Exhausted: exhausted, Results: results})
 		msg := c.Recv(0, tagMaster).Data.(MasterMsg)
 		if msg.Done {
 			return
 		}
+		t0 := tr.Now()
 		var cells int64
 		results, cells = alignBatch(cache, threads, set, wl, msg.Tasks, results, obs)
 		c.Advance(float64(pool.CeilDiv(cells, threads)) * cfg.Costs.SecPerCell)
+		// The span closes after Advance, so under simtime its duration is
+		// the batch's charged virtual compute.
+		tr.Span(trace.CatWorker, phase+"/align", t0, tr.Now(),
+			"tasks", int64(len(msg.Tasks)), "cells", cells)
 	}
 }
 
@@ -399,8 +430,13 @@ func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg C
 // in decreasing match-length order with the same filtering policy.
 func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src *pairSource, cfg Config) {
 	al := align.NewAligner(cfg.Scoring)
+	tr := cfg.Trace
+	phase := ms.ctr.phase
+	var round int64
 	for {
+		round++
 		ms.ctr.rounds.Inc()
+		roundStart := tr.Now()
 		pairs, exhausted := src.next(cfg.BatchPairs)
 		c.Advance(float64(len(pairs)) * cfg.Costs.SecPerPairGen)
 		ms.ctr.generated.Add(int64(len(pairs)))
@@ -419,6 +455,11 @@ func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src *
 				ms.absorbResults([]AlignOutcome{out})
 			}
 		}
+		tr.Count(trace.CatMaster, phase+"/merges", ms.merges)
+		tr.Span(trace.CatMaster, phase+"/round", roundStart, tr.Now(),
+			"round", round, "pairs", int64(len(pairs)))
+		ms.cfg.Log.Debug("serial round",
+			"phase", phase, "round", round, "merges", ms.merges, "t", c.Time())
 		if exhausted {
 			ms.ctr.raw.Add(src.raw)
 			return

@@ -20,11 +20,13 @@ package pace
 
 import (
 	"fmt"
+	"log/slog"
 
 	"profam/internal/align"
 	"profam/internal/metrics"
 	"profam/internal/mpi"
 	"profam/internal/seq"
+	"profam/internal/trace"
 	"profam/internal/unionfind"
 )
 
@@ -114,6 +116,14 @@ type Config struct {
 	// registry, built on its Comm clock. nil means a private throwaway
 	// registry per phase call — Stats still works, nothing is exported.
 	Metrics *metrics.Registry
+	// Trace receives protocol-level events: round spans, per-worker
+	// dispatch/collect instants, queue-depth and merges-applied counter
+	// tracks. Each rank passes its own tracer, built on its Comm clock
+	// (the same clock as Metrics). nil disables event recording.
+	Trace *trace.Tracer
+	// Log receives structured progress records (round milestones at
+	// debug level), stamped with the rank clock. nil discards.
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +153,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Costs == (CostParams{}) {
 		c.Costs = DefaultCostParams()
+	}
+	if c.Log == nil {
+		c.Log = trace.NopLogger()
 	}
 	return c
 }

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PhaseStat is the cross-rank summary of one phase (all CatPhase spans
+// sharing a name): the straggler view of the paper's Table II.
+type PhaseStat struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`       // spans merged
+	Ranks int     `json:"ranks"`       // distinct ranks that recorded the phase
+	Max   float64 `json:"max_seconds"` // largest per-rank total — the phase's critical path
+	Mean  float64 `json:"mean_seconds"`
+	Sum   float64 `json:"sum_seconds"` // rank-seconds
+	// Imbalance is Max/Mean over participating ranks: 1.0 means a
+	// perfectly even spread, 2.0 means the slowest rank carried twice the
+	// average load.
+	Imbalance float64 `json:"imbalance"`
+	// Gini is the Gini coefficient of per-rank totals (0 = perfectly
+	// even, →1 = one rank did everything).
+	Gini float64 `json:"gini"`
+}
+
+// RankBreakdown decomposes one rank's makespan into busy (inside a phase
+// span), comm (blocked in recv) and idle (neither) time.
+type RankBreakdown struct {
+	Rank    int     `json:"rank"`
+	Busy    float64 `json:"busy_seconds"`
+	Comm    float64 `json:"comm_seconds"`
+	Idle    float64 `json:"idle_seconds"`
+	Events  int     `json:"events"`
+	Dropped int64   `json:"dropped"`
+}
+
+// Analysis is the derived view of a Timeline: the per-rank breakdown,
+// per-phase straggler statistics and the critical-path attribution that
+// mirrors the paper's Table II (sum of slowest-rank times over the
+// top-level phases).
+type Analysis struct {
+	NumRanks int     `json:"num_ranks"`
+	Events   int     `json:"events"`
+	Dropped  int64   `json:"dropped"`
+	Makespan float64 `json:"makespan_seconds"`
+	// CriticalPath sums Max over the top-level phases (names without a
+	// "/"): the serial chain of slowest ranks, the quantity the paper's
+	// Table II reports per phase.
+	CriticalPath float64         `json:"critical_path_seconds"`
+	Phases       []PhaseStat     `json:"phases"`
+	Ranks        []RankBreakdown `json:"ranks"`
+}
+
+// Analyze derives the straggler report from a merged timeline. Busy time
+// is the measure of the interval *union* of a rank's phase spans (nested
+// spans such as rr and rr/index overlap; union avoids double-counting);
+// comm time is the summed duration of recv-wait spans; idle is the
+// remainder of the job makespan.
+func Analyze(tl *Timeline) *Analysis {
+	a := &Analysis{}
+	if tl == nil {
+		return a
+	}
+	a.NumRanks = tl.NumRanks
+	a.Dropped = tl.Dropped
+	a.Events = tl.NumEvents()
+
+	var t0, t1 float64
+	seen := false
+	type acc struct {
+		count   int
+		sum     float64
+		perRank map[int]float64
+	}
+	phases := map[string]*acc{}
+	for _, rt := range tl.Ranks {
+		var phaseIv []interval
+		var comm float64
+		for _, e := range rt.Events {
+			if !seen || e.Ts < t0 {
+				t0 = e.Ts
+			}
+			if !seen || e.End() > t1 {
+				t1 = e.End()
+			}
+			seen = true
+			if e.Kind != KindSpan {
+				continue
+			}
+			switch e.Cat {
+			case CatPhase:
+				phaseIv = append(phaseIv, interval{e.Ts, e.End()})
+				p := phases[e.Name]
+				if p == nil {
+					p = &acc{perRank: map[int]float64{}}
+					phases[e.Name] = p
+				}
+				p.count++
+				p.sum += e.Dur
+				p.perRank[rt.Rank] += e.Dur
+			case CatComm:
+				comm += e.Dur
+			}
+		}
+		a.Ranks = append(a.Ranks, RankBreakdown{
+			Rank:    rt.Rank,
+			Busy:    unionMeasure(phaseIv),
+			Comm:    comm,
+			Events:  len(rt.Events),
+			Dropped: rt.Dropped,
+		})
+	}
+	if seen {
+		a.Makespan = t1 - t0
+	}
+	for i := range a.Ranks {
+		idle := a.Makespan - a.Ranks[i].Busy
+		if idle < 0 {
+			idle = 0
+		}
+		a.Ranks[i].Idle = idle
+	}
+
+	for name, p := range phases {
+		ps := PhaseStat{Name: name, Count: p.count, Ranks: len(p.perRank), Sum: p.sum}
+		totals := make([]float64, 0, len(p.perRank))
+		for _, d := range p.perRank {
+			totals = append(totals, d)
+			if d > ps.Max {
+				ps.Max = d
+			}
+		}
+		if len(totals) > 0 {
+			ps.Mean = p.sum / float64(len(totals))
+		}
+		if ps.Mean > 0 {
+			ps.Imbalance = ps.Max / ps.Mean
+		}
+		ps.Gini = gini(totals)
+		a.Phases = append(a.Phases, ps)
+		if !strings.Contains(name, "/") {
+			a.CriticalPath += ps.Max
+		}
+	}
+	sort.Slice(a.Phases, func(i, j int) bool { return a.Phases[i].Name < a.Phases[j].Name })
+	return a
+}
+
+type interval struct{ lo, hi float64 }
+
+// unionMeasure returns the total length covered by the intervals,
+// counting overlaps once.
+func unionMeasure(ivs []interval) float64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	total := 0.0
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.lo > cur.hi {
+			total += cur.hi - cur.lo
+			cur = iv
+			continue
+		}
+		if iv.hi > cur.hi {
+			cur.hi = iv.hi
+		}
+	}
+	total += cur.hi - cur.lo
+	return total
+}
+
+// gini computes the Gini coefficient of the values: the mean absolute
+// difference between all pairs, normalized by twice the mean.
+func gini(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	var sum, diff float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum == 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := xs[i] - xs[j]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+	}
+	mean := sum / float64(n)
+	return diff / (2 * float64(n) * float64(n) * mean)
+}
+
+// PhaseMax returns the analyzed Max (critical-path seconds) for a phase
+// name, 0 if absent.
+func (a *Analysis) PhaseMax(name string) float64 {
+	if a == nil {
+		return 0
+	}
+	for _, p := range a.Phases {
+		if p.Name == name {
+			return p.Max
+		}
+	}
+	return 0
+}
+
+// WriteText renders the straggler report: job shape, per-phase
+// max/mean/imbalance/Gini table (Table II analogue) and per-rank
+// busy/comm/idle breakdown (Fig. 4 analogue).
+func (a *Analysis) WriteText(w io.Writer) error {
+	if a == nil {
+		return nil
+	}
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("== trace: %d ranks, %d events (%d dropped), makespan %.4fs, critical path %.4fs ==\n",
+		a.NumRanks, a.Events, a.Dropped, a.Makespan, a.CriticalPath); err != nil {
+		return err
+	}
+	if err := p("== phase stragglers (s) ==\n%-20s %8s %10s %10s %10s %6s %6s\n",
+		"phase", "ranks", "max", "mean", "sum", "imbal", "gini"); err != nil {
+		return err
+	}
+	for _, ps := range a.Phases {
+		if err := p("%-20s %8d %10.4f %10.4f %10.4f %6.2f %6.3f\n",
+			ps.Name, ps.Ranks, ps.Max, ps.Mean, ps.Sum, ps.Imbalance, ps.Gini); err != nil {
+			return err
+		}
+	}
+	if err := p("== per-rank breakdown (s) ==\n%-6s %10s %10s %10s %8s %8s\n",
+		"rank", "busy", "comm", "idle", "events", "dropped"); err != nil {
+		return err
+	}
+	for _, rb := range a.Ranks {
+		if err := p("%-6d %10.4f %10.4f %10.4f %8d %8d\n",
+			rb.Rank, rb.Busy, rb.Comm, rb.Idle, rb.Events, rb.Dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Thread lanes within each rank's process row in the Chrome trace view.
+// Phase spans get lane 0 so the per-rank timeline reads top-down as the
+// paper's phase schedule; comm events sit below it; protocol detail
+// (rounds, dispatch, merges) below that.
+const (
+	tidPhases   = 0
+	tidComm     = 1
+	tidProtocol = 2
+)
+
+// WriteChromeJSON exports the timeline in Chrome trace-event format
+// (the JSON object form, loadable in Perfetto and chrome://tracing).
+// Each rank becomes one process (pid = rank); spans map to complete
+// events ("X"), instants to thread-scoped instant events ("i") and
+// counters to counter tracks ("C"). Timestamps are converted from the
+// tracer's seconds to the format's microseconds. Output is
+// deterministic: ranks ascending, events in emission order.
+func WriteChromeJSON(w io.Writer, tl *Timeline) error {
+	if tl == nil {
+		tl = &Timeline{}
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	for _, rt := range tl.Ranks {
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"rank %d"}}`, rt.Rank, rt.Rank))
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"phases"}}`, rt.Rank, tidPhases))
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"comm"}}`, rt.Rank, tidComm))
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"protocol"}}`, rt.Rank, tidProtocol))
+	}
+	for _, rt := range tl.Ranks {
+		for _, e := range rt.Events {
+			emit(chromeEvent(e))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func chromeLane(cat string) int {
+	switch cat {
+	case CatPhase, CatPipeline:
+		return tidPhases
+	case CatComm:
+		return tidComm
+	default:
+		return tidProtocol
+	}
+}
+
+func chromeEvent(e Event) string {
+	var b strings.Builder
+	usec := func(s float64) string { return strconv.FormatFloat(s*1e6, 'f', 3, 64) }
+	args := func() string {
+		var a strings.Builder
+		if e.K1 != "" {
+			fmt.Fprintf(&a, "%q:%d", e.K1, e.V1)
+		}
+		if e.K2 != "" {
+			if a.Len() > 0 {
+				a.WriteByte(',')
+			}
+			fmt.Fprintf(&a, "%q:%d", e.K2, e.V2)
+		}
+		return a.String()
+	}
+	switch e.Kind {
+	case KindSpan:
+		fmt.Fprintf(&b, `{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%s,"dur":%s`,
+			e.Name, e.Cat, e.Rank, chromeLane(e.Cat), usec(e.Ts), usec(e.Dur))
+	case KindInstant:
+		fmt.Fprintf(&b, `{"ph":"i","s":"t","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%s`,
+			e.Name, e.Cat, e.Rank, chromeLane(e.Cat), usec(e.Ts))
+	case KindCounter:
+		fmt.Fprintf(&b, `{"ph":"C","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%s`,
+			e.Name, e.Cat, e.Rank, chromeLane(e.Cat), usec(e.Ts))
+	}
+	if a := args(); a != "" {
+		fmt.Fprintf(&b, `,"args":{%s}`, a)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

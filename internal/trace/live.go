@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+)
+
+// The live set mirrors metrics' live-registry mechanism: a running
+// pipeline registers each rank's tracer so external observers (the CLI's
+// progress ticker, the /metrics endpoint's flush path) can snapshot
+// in-flight state, and a bounded graveyard keeps the final snapshots of
+// failed runs so cmd/profam can still export a timeline when the
+// pipeline errors partway.
+
+var (
+	liveMu  sync.Mutex
+	live    = map[*Tracer]struct{}{}
+	failed  []RankTrace
+	maxDead = 64 // graveyard bound: one failed 32-rank job, with slack
+)
+
+// RegisterLive adds a tracer to the process-wide live set. Nil tracers
+// are ignored.
+func RegisterLive(t *Tracer) {
+	if t == nil {
+		return
+	}
+	liveMu.Lock()
+	live[t] = struct{}{}
+	liveMu.Unlock()
+}
+
+// UnregisterLive removes a tracer from the live set.
+func UnregisterLive(t *Tracer) {
+	if t == nil {
+		return
+	}
+	liveMu.Lock()
+	delete(live, t)
+	liveMu.Unlock()
+}
+
+// LiveSnapshots snapshots every registered tracer.
+func LiveSnapshots() []RankTrace {
+	liveMu.Lock()
+	ts := make([]*Tracer, 0, len(live))
+	for t := range live {
+		ts = append(ts, t)
+	}
+	liveMu.Unlock()
+	out := make([]RankTrace, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.Snapshot())
+	}
+	return out
+}
+
+// StashFailed records the final per-rank traces of a failed run so they
+// can still be exported. The graveyard is bounded: older entries are
+// evicted first.
+func StashFailed(rts []RankTrace) {
+	liveMu.Lock()
+	failed = append(failed, rts...)
+	if len(failed) > maxDead {
+		failed = append([]RankTrace(nil), failed[len(failed)-maxDead:]...)
+	}
+	liveMu.Unlock()
+}
+
+// TakeFailed drains and returns the failed-run graveyard.
+func TakeFailed() []RankTrace {
+	liveMu.Lock()
+	out := failed
+	failed = nil
+	liveMu.Unlock()
+	return out
+}
+
+// nopHandler is a slog.Handler that discards everything (slog.DiscardHandler
+// arrives in go 1.24; the module targets 1.22).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// NopLogger returns a logger that discards all records — the default
+// sink wherever a *slog.Logger is optional.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// ClockAttr returns a slog attribute carrying the tracer-clock reading,
+// so structured logs and trace events share a timebase (virtual seconds
+// under the simulator).
+func ClockAttr(clock Clock) slog.Attr {
+	if clock == nil {
+		return slog.Float64("t", 0)
+	}
+	return slog.Float64("t", clock())
+}

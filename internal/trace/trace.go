@@ -1,0 +1,257 @@
+// Package trace is the pipeline's event-level tracing layer: a per-rank,
+// bounded ring-buffer recorder of master–worker protocol events (round
+// spans, batch dispatch/collect, merges applied, phase transitions) and
+// message-level communication events (send, recv-wait, bytes, peer) from
+// all three mpi transports.
+//
+// Each rank of a job owns one Tracer, created with the rank's clock
+// (mpi.Comm.Time) — the same clock the metrics registry uses — so event
+// timestamps are *virtual* seconds under the simtime transport and
+// wall-clock seconds otherwise. The buffer is fixed-size: once full, the
+// oldest event is overwritten and a drop is counted (optionally into a
+// metrics counter, canonically named trace_dropped), so tracing can stay
+// on for arbitrarily long jobs at bounded memory.
+//
+// At job end each rank takes a Snapshot; rank 0 gathers them and Merges
+// them into a job-wide Timeline that exports as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing) and feeds the straggler
+// analyzer in this package.
+//
+// Determinism contract: every event is emitted from rank-level code whose
+// behaviour is independent of the intra-rank thread count, so under the
+// simulator the per-rank event *sequence* is identical for every
+// ThreadsPerRank. Timeline.Canonical strips the clock-derived fields
+// (timestamps, durations) and the arrival-order-sensitive values of comm
+// events, leaving a representation that is byte-identical across thread
+// counts — the trace analogue of metrics.Report.Canonical.
+//
+// All Tracer methods are nil-safe: a nil *Tracer is the disabled state
+// and every call on it is a cheap no-op, so call sites never guard.
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"profam/internal/metrics"
+)
+
+// Clock returns the current time in seconds (virtual under simtime).
+type Clock func() float64
+
+// Kind classifies an event for export and analysis.
+type Kind uint8
+
+const (
+	// KindSpan is a duration event (Chrome phase "X").
+	KindSpan Kind = iota
+	// KindInstant is a point event (Chrome phase "i").
+	KindInstant
+	// KindCounter is a sampled running value (Chrome phase "C").
+	KindCounter
+)
+
+// Event is one trace record. K1/V1 and K2/V2 are two optional labeled
+// integer arguments; fixed slots rather than a map keep recording
+// allocation-free on the hot comm path.
+type Event struct {
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Rank int32   `json:"rank"`
+	Kind Kind    `json:"kind"`
+	Cat  string  `json:"cat"`
+	Name string  `json:"name"`
+	K1   string  `json:"k1,omitempty"`
+	V1   int64   `json:"v1,omitempty"`
+	K2   string  `json:"k2,omitempty"`
+	V2   int64   `json:"v2,omitempty"`
+}
+
+// End returns the event's end time (start plus duration for spans).
+func (e Event) End() float64 { return e.Ts + e.Dur }
+
+// Tracer is one rank's bounded event buffer. Construct with New; nil is
+// the valid disabled tracer.
+type Tracer struct {
+	rank    int
+	clock   Clock
+	dropped *metrics.Counter
+
+	mu    sync.Mutex
+	buf   []Event
+	next  int // next write slot
+	n     int // events currently held (≤ len(buf))
+	drops int64
+}
+
+// New returns a tracer for the given rank holding at most capacity
+// events; once full, each new event overwrites the oldest and increments
+// both the internal drop count and the optional dropped counter (pass the
+// registry's trace_dropped handle; nil is fine). capacity ≤ 0 returns a
+// nil tracer — the disabled state. A nil clock pins timestamps to 0.
+func New(rank, capacity int, clock Clock, dropped *metrics.Counter) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	return &Tracer{rank: rank, clock: clock, dropped: dropped, buf: make([]Event, 0, capacity)}
+}
+
+// Now reads the tracer's clock (0 for a nil tracer).
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// record appends one event, overwriting the oldest when full.
+func (t *Tracer) record(ev Event) {
+	ev.Rank = int32(t.rank)
+	var dropped bool
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+		t.n++
+		t.next = len(t.buf) % cap(t.buf)
+	} else {
+		t.buf[t.next] = ev
+		t.next = (t.next + 1) % len(t.buf)
+		t.drops++
+		dropped = true
+	}
+	t.mu.Unlock()
+	if dropped {
+		t.dropped.Inc()
+	}
+}
+
+// Instant records a point event at the current clock reading. Pass "" for
+// an unused argument key.
+func (t *Tracer) Instant(cat, name, k1 string, v1 int64, k2 string, v2 int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Ts: t.clock(), Kind: KindInstant, Cat: cat, Name: name, K1: k1, V1: v1, K2: k2, V2: v2})
+}
+
+// Span records a completed interval [start, end] on the rank's clock.
+func (t *Tracer) Span(cat, name string, start, end float64, k1 string, v1 int64, k2 string, v2 int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Ts: start, Dur: end - start, Kind: KindSpan, Cat: cat, Name: name, K1: k1, V1: v1, K2: k2, V2: v2})
+}
+
+// Count records a sampled running value (rendered as a counter track in
+// Perfetto).
+func (t *Tracer) Count(cat, name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Ts: t.clock(), Kind: KindCounter, Cat: cat, Name: name, K1: "value", V1: v})
+}
+
+// RankTrace is an immutable copy of one rank's buffer in emission order
+// (oldest surviving event first), suitable for shipping over the mpi
+// transports (gob-encodable) and merging at rank 0.
+type RankTrace struct {
+	Rank    int
+	Dropped int64
+	Events  []Event
+}
+
+// WireSize implements the mpi Sized convention so the simulator charges a
+// realistic byte volume for trace gathers.
+func (rt RankTrace) WireSize() int {
+	n := 24
+	for _, e := range rt.Events {
+		n += 44 + len(e.Cat) + len(e.Name) + len(e.K1) + len(e.K2)
+	}
+	return n
+}
+
+// Snapshot copies the buffer. Safe to call concurrently with recording.
+func (t *Tracer) Snapshot() RankTrace {
+	if t == nil {
+		return RankTrace{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev := make([]Event, 0, t.n)
+	if t.n == cap(t.buf) && len(t.buf) == cap(t.buf) {
+		ev = append(ev, t.buf[t.next:]...)
+		ev = append(ev, t.buf[:t.next]...)
+	} else {
+		ev = append(ev, t.buf...)
+	}
+	return RankTrace{Rank: t.rank, Dropped: t.drops, Events: ev}
+}
+
+// Timeline is the job-wide merge of every rank's trace, ranks in order.
+type Timeline struct {
+	NumRanks int
+	Dropped  int64
+	Ranks    []RankTrace
+}
+
+// Merge assembles per-rank snapshots into a Timeline, ordering by rank.
+func Merge(rts []RankTrace) *Timeline {
+	tl := &Timeline{NumRanks: len(rts), Ranks: append([]RankTrace(nil), rts...)}
+	sort.Slice(tl.Ranks, func(i, j int) bool { return tl.Ranks[i].Rank < tl.Ranks[j].Rank })
+	for _, rt := range tl.Ranks {
+		tl.Dropped += rt.Dropped
+	}
+	return tl
+}
+
+// NumEvents returns the total event count over all ranks.
+func (tl *Timeline) NumEvents() int {
+	if tl == nil {
+		return 0
+	}
+	n := 0
+	for _, rt := range tl.Ranks {
+		n += len(rt.Events)
+	}
+	return n
+}
+
+// Canonical returns a deep copy with every clock-derived field zeroed:
+// timestamps and durations everywhere, plus the argument values of comm
+// events (whose peer/byte attribution follows virtual arrival order
+// inside collectives, which legitimately shifts with the per-thread-count
+// compute charges). Event kinds, names, categories, per-rank order and
+// the protocol-level argument values are all work-derived, so the
+// canonical form is byte-identical across thread counts under the
+// simulator. Tests compare Canonical() JSON bytes.
+func (tl *Timeline) Canonical() *Timeline {
+	if tl == nil {
+		return nil
+	}
+	out := &Timeline{NumRanks: tl.NumRanks, Dropped: tl.Dropped}
+	for _, rt := range tl.Ranks {
+		crt := RankTrace{Rank: rt.Rank, Dropped: rt.Dropped, Events: make([]Event, len(rt.Events))}
+		for i, e := range rt.Events {
+			e.Ts, e.Dur = 0, 0
+			if e.Cat == CatComm {
+				e.V1, e.V2 = 0, 0
+			}
+			crt.Events[i] = e
+		}
+		out.Ranks = append(out.Ranks, crt)
+	}
+	return out
+}
+
+// Event categories used across the pipeline. Analysis keys off CatPhase
+// (busy intervals) and CatComm (blocked-in-recv intervals).
+const (
+	CatPhase    = "phase"    // phase spans mirrored from the metrics span tracer
+	CatComm     = "comm"     // transport send/recv events
+	CatMaster   = "master"   // master-side protocol events
+	CatWorker   = "worker"   // worker-side protocol events
+	CatPipeline = "pipeline" // pipeline-level transitions
+)

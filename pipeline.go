@@ -8,6 +8,7 @@ import (
 	"profam/internal/pool"
 	"profam/internal/seq"
 	"profam/internal/shingle"
+	"profam/internal/trace"
 )
 
 // secPerShingleOp is the virtual cost of one min-hash evaluation in the
@@ -44,11 +45,13 @@ func RegisterWireTypes() {
 	mpi.RegisterType(familyBatch{})
 	mpi.RegisterType(metrics.Snapshot{})
 	mpi.RegisterType(metrics.Report{})
+	mpi.RegisterType(trace.RankTrace{})
+	mpi.RegisterType(trace.Timeline{})
 }
 
 // runPipeline executes all four phases collectively on c. Every rank
 // returns the same *Result.
-func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
+func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error) {
 	cfg = cfg.withDefaults()
 
 	// Every rank owns one metrics registry, clocked by its communicator:
@@ -58,12 +61,63 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	// accumulate here and are merged into Result.Metrics at the end.
 	reg := metrics.New(c.Rank(), c.Time)
 	c.AttachMetrics(reg)
+
+	// The tracer shares the registry's clock and rank. Every phase span is
+	// mirrored into it through the span sink, so the trace analyzer and
+	// the metrics report fold the exact same intervals. Comm events hook
+	// in at the transport wrapper; protocol events via pcfg.Trace.
+	var tracer *trace.Tracer
+	if cfg.TraceCapacity > 0 {
+		tracer = trace.New(c.Rank(), cfg.TraceCapacity, c.Time, reg.Counter("trace_dropped"))
+		reg.SetSpanSink(func(sp metrics.SpanRecord) {
+			tracer.Span(trace.CatPhase, sp.Name, sp.Start, sp.End, "", 0, "", 0)
+		})
+		c.AttachTracer(tracer)
+	}
+
+	log := cfg.Logger
+	if log == nil {
+		log = trace.NopLogger()
+	}
+	log = log.With("rank", c.Rank())
+
+	// Register with the live sets so external observers (the CLI's
+	// /metrics endpoint and progress ticker) can watch the run in flight.
+	// On the way out — error and panic paths included — unregister, and
+	// stash the final snapshots of failed runs so callers can still flush
+	// an observability report when they get no Result.
+	metrics.RegisterLive(reg)
+	trace.RegisterLive(tracer)
+	stash := func() {
+		metrics.StashFailed([]metrics.Snapshot{reg.Snapshot()})
+		if tracer != nil {
+			trace.StashFailed([]trace.RankTrace{tracer.Snapshot()})
+		}
+	}
+	defer func() {
+		metrics.UnregisterLive(reg)
+		trace.UnregisterLive(tracer)
+		if p := recover(); p != nil {
+			// Transport failures surface as panics in rank code; keep that
+			// contract (the mpi harness converts them to errors) but save
+			// the partial observability state first.
+			stash()
+			panic(p)
+		}
+		if err != nil {
+			stash()
+		}
+	}()
+
 	pcfg := cfg.paceConfig()
 	pcfg.Metrics = reg
+	pcfg.Trace = tracer
+	pcfg.Log = log
 
-	res := &Result{NumInput: set.Len()}
+	res = &Result{NumInput: set.Len()}
 
 	// Phase 1: redundancy removal.
+	tracer.Instant(trace.CatPipeline, "phase:rr", "", 0, "", 0)
 	rrSpan := reg.StartSpan("rr")
 	keep, rrStats, err := pace.RedundancyRemoval(c, set, pcfg)
 	rrSpan.End()
@@ -77,8 +131,14 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 			res.NumNonRedundant++
 		}
 	}
+	if c.Rank() == 0 {
+		log.Info("redundancy removal done",
+			"kept", res.NumNonRedundant, "of", res.NumInput,
+			"aligned", rrStats.PairsAligned, "t", c.Time())
+	}
 
 	// Phase 2: connected components over the non-redundant set.
+	tracer.Instant(trace.CatPipeline, "phase:ccd", "", 0, "", 0)
 	ccdSpan := reg.StartSpan("ccd")
 	comp, ccStats, err := pace.ConnectedComponents(c, set, keep, pcfg)
 	ccdSpan.End()
@@ -87,12 +147,18 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	}
 	res.CCD = fromPace(ccStats)
 	res.Components = pace.ComponentsBySize(comp, cfg.MinComponentSize)
+	if c.Rank() == 0 {
+		log.Info("connected components done",
+			"components", len(res.Components),
+			"aligned", ccStats.PairsAligned, "t", c.Time())
+	}
 
 	// Phases 3+4: per component, build the bipartite reduction and run
 	// the Shingle algorithm. Components are distributed across all ranks
 	// (batched by estimated cost), processed independently — no
 	// communication until the final gather, exactly as the paper argues
 	// dense subgraphs cannot span components.
+	tracer.Instant(trace.CatPipeline, "phase:bgg", "", 0, "", 0)
 	own := bipartite.DistributeComponents(res.Components, c.Size())
 	bcfg := cfg.bipartiteConfig()
 	sp := cfg.shingleParams()
@@ -210,6 +276,7 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	// spans are recorded from the modeled apportionment rather than
 	// bracketed directly.
 	reg.RecordSpan("bgg", t0, t0+bggTime)
+	tracer.Instant(trace.CatPipeline, "phase:dsd", "", 0, "", 0)
 	reg.RecordSpan("dsd", t0+bggTime, t0+bggTime+dsdTime)
 
 	// Gather families at rank 0, then share the final list.
@@ -264,6 +331,34 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
 	}
 	rep2 := c.Bcast(0, *rep).(metrics.Report)
 	res.Metrics = &rep2
+
+	// Gather traces strictly after the metrics exchange so the comm
+	// events of the metrics gather are themselves traced; each rank
+	// snapshots right before sending, so the trace exchange's own
+	// messages are excluded on every rank — deterministically.
+	if tracer != nil {
+		gt := c.Gather(0, tracer.Snapshot())
+		var tl *trace.Timeline
+		if c.Rank() == 0 {
+			rts := make([]trace.RankTrace, len(gt))
+			for i, s := range gt {
+				rts[i] = s.(trace.RankTrace)
+			}
+			tl = trace.Merge(rts)
+		} else {
+			tl = &trace.Timeline{}
+		}
+		tl2 := c.Bcast(0, *tl).(trace.Timeline)
+		res.Trace = &tl2
+		if c.Rank() == 0 {
+			log.Info("pipeline done",
+				"families", len(res.Families),
+				"trace_events", tl2.NumEvents(), "trace_dropped", tl2.Dropped,
+				"t", c.Time())
+		}
+	} else if c.Rank() == 0 {
+		log.Info("pipeline done", "families", len(res.Families), "t", c.Time())
+	}
 	return res, nil
 }
 

@@ -26,6 +26,7 @@ package profam
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 
 	"profam/internal/align"
@@ -36,6 +37,7 @@ import (
 	"profam/internal/pool"
 	"profam/internal/seq"
 	"profam/internal/shingle"
+	"profam/internal/trace"
 )
 
 // Reduction selects the bipartite-graph reduction of phase 3.
@@ -124,6 +126,19 @@ type Config struct {
 	// certified shortcuts — so this is purely an escape hatch and the
 	// reference arm for the determinism tests.
 	ExactAlign bool
+
+	// TraceCapacity enables event-level tracing: each rank records up to
+	// this many protocol and communication events into a bounded ring
+	// buffer (oldest overwritten beyond capacity, drops counted under
+	// trace_dropped). At job end the per-rank buffers are merged into
+	// Result.Trace. 0 (the default) disables tracing entirely.
+	TraceCapacity int
+
+	// Logger receives structured progress records from the pipeline
+	// (rank-0 phase milestones at info level, per-round master detail at
+	// debug level), stamped with the rank clock — virtual seconds under
+	// RunSimulated. nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -292,6 +307,13 @@ type Result struct {
 	// wall-clock seconds otherwise; Metrics.Canonical() strips the
 	// clock-derived fields, leaving the thread-count-independent part.
 	Metrics *metrics.Report
+
+	// Trace is the job-wide event timeline, present only when
+	// Config.TraceCapacity > 0: every rank's protocol and comm events,
+	// merged in rank order and identical on every rank. Export with
+	// trace.WriteChromeJSON, analyze with trace.Analyze;
+	// Trace.Canonical() is the thread-count-independent form.
+	Trace *trace.Timeline
 }
 
 // SeqsInFamilies returns the number of sequences covered by families.

@@ -1,0 +1,212 @@
+package profam_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"profam"
+	"profam/internal/trace"
+	"profam/internal/workload"
+)
+
+func traceWorkload() (*workload.Params, profam.Config) {
+	p := &workload.Params{
+		Families: 4, MeanFamilySize: 10, MeanLength: 100,
+		Divergence: 0.08, ContainedFrac: 0.15, Singletons: 4, Seed: 777,
+	}
+	cfg := profam.Config{Psi: 6, MinComponentSize: 3, MinFamilySize: 3,
+		BatchPairs: 256, BatchTasks: 64}
+	return p, cfg
+}
+
+// TestTraceDeterministicAcrossThreads: under the simulator, the merged
+// event timeline must be identical for ThreadsPerRank=1 and =4 once
+// timestamps and comm payload values are stripped (Canonical). Protocol
+// events are emitted from single-goroutine rank code in program order
+// with work-derived values, so the canonical stream is a determinism
+// invariant exactly like the canonical metrics report.
+func TestTraceDeterministicAcrossThreads(t *testing.T) {
+	params, cfg := traceWorkload()
+	set, _ := workload.Generate(*params)
+	cfg.TraceCapacity = 1 << 16
+
+	var want []byte
+	for _, threads := range []int{1, 4} {
+		c := cfg
+		c.ThreadsPerRank = threads
+		res, _, err := profam.RunSet(set, 2, true, c)
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if res.Trace == nil {
+			t.Fatalf("threads=%d: Result.Trace is nil", threads)
+		}
+		if res.Trace.Dropped != 0 {
+			t.Fatalf("threads=%d: ring overflowed (%d dropped); raise TraceCapacity in the test", threads, res.Trace.Dropped)
+		}
+		got, err := json.Marshal(res.Trace.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if threads == 1 {
+			want = got
+
+			// Spot-check the timeline's load-bearing contents once.
+			tl := res.Trace
+			if tl.NumRanks != 2 {
+				t.Errorf("NumRanks = %d, want 2", tl.NumRanks)
+			}
+			if tl.NumEvents() == 0 {
+				t.Fatal("timeline has no events")
+			}
+			markers := map[string]bool{}
+			cats := map[string]bool{}
+			for _, rt := range tl.Ranks {
+				for _, ev := range rt.Events {
+					cats[ev.Cat] = true
+					if ev.Cat == trace.CatPipeline {
+						markers[ev.Name] = true
+					}
+				}
+			}
+			for _, m := range []string{"phase:rr", "phase:ccd", "phase:bgg", "phase:dsd"} {
+				if !markers[m] {
+					t.Errorf("pipeline marker %q missing (have %v)", m, markers)
+				}
+			}
+			for _, cat := range []string{trace.CatPhase, trace.CatComm, trace.CatMaster, trace.CatWorker} {
+				if !cats[cat] {
+					t.Errorf("no %q events in the timeline", cat)
+				}
+			}
+			if res.Metrics.CounterValue("trace_dropped") != 0 {
+				t.Errorf("trace_dropped = %d, want 0", res.Metrics.CounterValue("trace_dropped"))
+			}
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("canonical timeline differs between ThreadsPerRank=1 and =%d", threads)
+		}
+	}
+}
+
+// TestTraceRingOverflow: a tiny ring must keep the job alive, cap the
+// per-rank event count, and surface the loss in both the timeline and
+// the trace_dropped counter.
+func TestTraceRingOverflow(t *testing.T) {
+	params, cfg := traceWorkload()
+	set, _ := workload.Generate(*params)
+	// Small batches force many master–worker rounds; a 16-event ring is
+	// guaranteed to overflow on every rank.
+	cfg.BatchPairs, cfg.BatchTasks = 32, 8
+	cfg.TraceCapacity = 16
+
+	res, _, err := profam.RunSet(set, 2, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("Result.Trace is nil")
+	}
+	for _, rt := range res.Trace.Ranks {
+		if len(rt.Events) > 16 {
+			t.Errorf("rank %d kept %d events, ring capacity is 16", rt.Rank, len(rt.Events))
+		}
+	}
+	if res.Trace.Dropped == 0 {
+		t.Error("no drops recorded despite a 16-event ring")
+	}
+	counted := res.Metrics.CounterValue("trace_dropped")
+	if counted == 0 {
+		t.Error("trace_dropped counter is zero despite overflow")
+	}
+	// The metrics snapshot is gathered before the trace snapshot, so the
+	// timeline can only have seen additional drops since the counter was
+	// frozen — never fewer.
+	if res.Trace.Dropped < counted {
+		t.Errorf("timeline drops (%d) < trace_dropped counter (%d)", res.Trace.Dropped, counted)
+	}
+}
+
+// TestTraceAnalyzerAgreesWithReport: every phase span is mirrored into
+// the tracer through the span sink, so the straggler analysis and the
+// metrics report must attribute identical per-phase critical-path times.
+func TestTraceAnalyzerAgreesWithReport(t *testing.T) {
+	params, cfg := traceWorkload()
+	set, _ := workload.Generate(*params)
+	cfg.TraceCapacity = 1 << 16
+
+	res, _, err := profam.RunSet(set, 2, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Metrics == nil {
+		t.Fatal("missing trace or metrics")
+	}
+	if res.Trace.Dropped != 0 {
+		t.Fatalf("ring overflowed (%d dropped); the comparison needs the full timeline", res.Trace.Dropped)
+	}
+	an := trace.Analyze(res.Trace)
+	if len(res.Metrics.Phases) == 0 {
+		t.Fatal("metrics report has no phases")
+	}
+	for _, ph := range res.Metrics.Phases {
+		got := an.PhaseMax(ph.Name)
+		want := ph.MaxSeconds
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("phase %s: analyzer max %.12g, report max %.12g", ph.Name, got, want)
+		}
+	}
+	if an.Makespan <= 0 {
+		t.Errorf("makespan = %v, want > 0", an.Makespan)
+	}
+	if an.CriticalPath <= 0 {
+		t.Errorf("critical path = %v, want > 0", an.CriticalPath)
+	}
+	for _, rb := range an.Ranks {
+		if rb.Busy <= 0 {
+			t.Errorf("rank %d: busy = %v, want > 0", rb.Rank, rb.Busy)
+		}
+		if rb.Idle < 0 {
+			t.Errorf("rank %d: idle = %v, want >= 0", rb.Rank, rb.Idle)
+		}
+	}
+}
+
+// TestTraceOnWallClock: tracing must also work on the concurrent inproc
+// transport (this is the -race hammer for the tracer wiring), and the
+// work-derived protocol events must match the simulator's canonically.
+func TestTraceOnWallClock(t *testing.T) {
+	params, cfg := traceWorkload()
+	set, _ := workload.Generate(*params)
+	cfg.TraceCapacity = 1 << 16
+	cfg.ThreadsPerRank = 2
+
+	wall, _, err := profam.RunSet(set, 2, false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall.Trace == nil {
+		t.Fatal("Result.Trace is nil on the inproc transport")
+	}
+	if wall.Trace.NumRanks != 2 || wall.Trace.NumEvents() == 0 {
+		t.Fatalf("timeline: ranks=%d events=%d", wall.Trace.NumRanks, wall.Trace.NumEvents())
+	}
+	sim, _, err := profam.RunSet(set, 2, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(wall.Trace.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := json.Marshal(sim.Trace.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w, s) {
+		t.Error("canonical timeline differs between inproc and simulated transports")
+	}
+}
