@@ -47,9 +47,17 @@ func canonicalJSON(t *testing.T, rep *metrics.Report) string {
 // canonical metrics — modulo the DP-cost series above — under the
 // simulator at 1 and 4 ranks. This is the cascade's contract: it only
 // changes how much of each DP matrix is computed, never a verdict.
+//
+// The metric comparison runs the lockstep protocol: metric identity
+// between two runs that charge different virtual compute (cascade vs
+// exact DP) requires a content-deterministic master service order,
+// and the default arrival-order protocol deliberately lets the order
+// follow (virtual) completion times at p > 2. The family/keep/component
+// identity is additionally asserted under the default overlapped
+// protocol — verdicts must not depend on the protocol either.
 func TestCascadeDeterminism(t *testing.T) {
 	set, _ := integrationSet()
-	base := profam.Config{Psi: 6, MinComponentSize: 3, MinFamilySize: 3}
+	base := profam.Config{Psi: 6, MinComponentSize: 3, MinFamilySize: 3, Lockstep: true}
 	for _, p := range []int{1, 4} {
 		t.Run(fmt.Sprintf("ranks=%d", p), func(t *testing.T) {
 			exact := base
@@ -75,6 +83,26 @@ func TestCascadeDeterminism(t *testing.T) {
 			je := canonicalJSON(t, resE.Metrics)
 			if jc != je {
 				t.Errorf("canonical metrics differ between cascade and exact-align:\ncascade:\n%s\nexact:\n%s", jc, je)
+			}
+
+			// Same family-level contract under the overlapped protocol.
+			overlapped := base
+			overlapped.Lockstep = false
+			exactO := exact
+			exactO.Lockstep = false
+			resCO, _, err := profam.RunSet(set, p, true, overlapped)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resEO, _, err := profam.RunSet(set, p, true, exactO)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(resCO.Families) != fmt.Sprint(resEO.Families) {
+				t.Fatal("cascade changed the families under the overlapped protocol")
+			}
+			if fmt.Sprint(resCO.Families) != fmt.Sprint(resC.Families) {
+				t.Fatal("overlapped protocol changed the families")
 			}
 		})
 	}

@@ -37,6 +37,7 @@ import (
 
 	"profam"
 	"profam/internal/experiments"
+	"profam/internal/mpi"
 )
 
 // fileFormat is the BENCH_results.json schema.
@@ -50,8 +51,18 @@ type fileFormat struct {
 	CellsEliminatedRatio float64 `json:"cells_eliminated_ratio,omitempty"`
 	// TraceOverheadRatio is traced/untraced ns/op on the threads=1
 	// pipeline kernel minus one — the fractional cost of event tracing.
-	TraceOverheadRatio float64            `json:"trace_overhead_ratio,omitempty"`
-	Benchmarks         map[string]float64 `json:"benchmarks_ns_per_op"`
+	TraceOverheadRatio float64 `json:"trace_overhead_ratio,omitempty"`
+	// SimOverlapSpeedup is the deterministic virtual-makespan ratio
+	// lockstep/overlapped on the 4-rank straggler-link simulation, and
+	// SimTaskWaitShare* are the corresponding worker task-wait shares —
+	// the protocol win the overlapped dataflow exists to deliver.
+	SimOverlapSpeedup        float64 `json:"sim_overlap_speedup,omitempty"`
+	SimTaskWaitShareLockstep float64 `json:"sim_task_wait_share_lockstep,omitempty"`
+	SimTaskWaitShareOverlap  float64 `json:"sim_task_wait_share_overlap,omitempty"`
+	// TCPWireBytesRatio is gob/binary worker→master bytes on realistic
+	// batch traffic over loopback TCP (work checksum, not timing).
+	TCPWireBytesRatio float64            `json:"tcp_wire_bytes_ratio,omitempty"`
+	Benchmarks        map[string]float64 `json:"benchmarks_ns_per_op"`
 }
 
 func main() {
@@ -184,6 +195,47 @@ func main() {
 		}
 	})
 
+	// The TCP kernels each grab a fresh port block per iteration so
+	// lingering TIME_WAIT sockets from the previous mesh can't collide.
+	// The window recycles after 45 blocks: listeners rebind closed ports
+	// safely (SO_REUSEADDR), whereas marching the counter ever deeper
+	// into the kernel's ephemeral range eventually lands on a port an
+	// outbound connection owns and the mesh wedges on dial.
+	tcpPort := 43700
+	nextTCPPorts := func() int {
+		p := tcpPort
+		tcpPort += 16
+		if tcpPort >= 44420 {
+			tcpPort = 43700
+		}
+		return p
+	}
+	for _, wf := range []struct {
+		name   string
+		format mpi.WireFormat
+	}{{"gob", mpi.WireGob}, {"binary", mpi.WireBinary}} {
+		wf := wf
+		record("PipelineTCP/wire="+wf.name, func(b *testing.B) {
+			mpi.SetWireFormat(wf.format)
+			defer mpi.SetWireFormat(mpi.WireBinary)
+			cfg := experiments.PipelineConfig()
+			cfg.ThreadsPerRank = 1
+			for i := 0; i < b.N; i++ {
+				if err := experiments.PipelineTCP(pipeSet, cfg, nextTCPPorts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	roundBatches := experiments.MasterRoundBatches(64, 256, 9)
+	record("MasterRoundLatency", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := experiments.MasterRoundLatency(roundBatches, nextTCPPorts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	if err := ctx.Err(); err != nil {
 		log.Fatalf("run aborted: %v (%d benchmarks completed)", err, len(results))
 	}
@@ -196,11 +248,34 @@ func main() {
 		}
 	}
 
+	payload := fileFormat{
+		CellsEliminatedRatio: cellsRatio,
+		TraceOverheadRatio:   traceOverhead,
+		Benchmarks:           results,
+	}
+	// Protocol-comparison scalars: deterministic simulation and a byte
+	// count, so they need no noise guard.
+	ov, err := experiments.OverlapWin(experiments.OverlapCorpus(), experiments.OverlapConfig(), 4, experiments.StragglerLink(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload.SimOverlapSpeedup = ov.Speedup()
+	payload.SimTaskWaitShareLockstep = ov.TaskWaitShareLockstep
+	payload.SimTaskWaitShareOverlap = ov.TaskWaitShareOverlap
+	log.Printf("sim overlap win (4 ranks, straggler link): %.2fx makespan, task-wait share %.3f -> %.3f",
+		ov.Speedup(), ov.TaskWaitShareLockstep, ov.TaskWaitShareOverlap)
+	wireRatio, err := experiments.WireBytesRatio(experiments.MasterRoundBatches(24, 48, 11), nextTCPPorts())
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload.TCPWireBytesRatio = wireRatio
+	log.Printf("tcp wire bytes gob/binary: %.2fx", wireRatio)
+
 	if *compare != "" {
-		os.Exit(compareBaseline(*compare, results, cellsRatio, traceOverhead, *tolerance, *traceTol, noise, explicitOut(), *out))
+		os.Exit(compareBaseline(*compare, payload, *tolerance, *traceTol, noise, explicitOut(), *out))
 	}
 
-	writeResults(*out, results, cellsRatio, traceOverhead)
+	writeResults(*out, payload)
 }
 
 // explicitOut reports whether -out was set on the command line (as
@@ -216,16 +291,11 @@ func explicitOut() bool {
 	return set
 }
 
-func writeResults(path string, results map[string]float64, cellsRatio, traceOverhead float64) {
-	payload := fileFormat{
-		Date:                 time.Now().UTC().Format(time.RFC3339),
-		GoVersion:            runtime.Version(),
-		NumCPU:               runtime.NumCPU(),
-		GoMaxProcs:           runtime.GOMAXPROCS(0),
-		CellsEliminatedRatio: cellsRatio,
-		TraceOverheadRatio:   traceOverhead,
-		Benchmarks:           results,
-	}
+func writeResults(path string, payload fileFormat) {
+	payload.Date = time.Now().UTC().Format(time.RFC3339)
+	payload.GoVersion = runtime.Version()
+	payload.NumCPU = runtime.NumCPU()
+	payload.GoMaxProcs = runtime.GOMAXPROCS(0)
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
@@ -247,7 +317,8 @@ func writeResults(path string, results map[string]float64, cellsRatio, traceOver
 // tracing-overhead gate needs no baseline — traced and untraced kernels
 // ran back to back in this same invocation — but it keeps its own noise
 // guard since traceTol is typically much tighter than tolerance.
-func compareBaseline(path string, results map[string]float64, cellsRatio, traceOverhead, tolerance, traceTol, noise float64, writeOut bool, outPath string) int {
+func compareBaseline(path string, payload fileFormat, tolerance, traceTol, noise float64, writeOut bool, outPath string) int {
+	results, traceOverhead := payload.Benchmarks, payload.TraceOverheadRatio
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		log.Print(err)
@@ -287,7 +358,7 @@ func compareBaseline(path string, results map[string]float64, cellsRatio, traceO
 		log.Printf("tracing overhead %+.1f%% within %.0f%% budget", 100*traceOverhead, 100*traceTol)
 	}
 	if writeOut {
-		writeResults(outPath, results, cellsRatio, traceOverhead)
+		writeResults(outPath, payload)
 	}
 	if regressed > 0 {
 		log.Printf("%d kernel(s) regressed beyond %.0f%%", regressed, 100*tolerance)

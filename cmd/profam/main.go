@@ -43,6 +43,7 @@ import (
 
 	"profam"
 	"profam/internal/metrics"
+	"profam/internal/mpi"
 	"profam/internal/quality"
 	"profam/internal/report"
 	"profam/internal/seq"
@@ -133,6 +134,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"goroutines per rank for alignment/index/component work (0 = auto: max(1, NumCPU/p); simulated runs default to 1)")
 	fs.BoolVar(&cfg.ExactAlign, "exact-align", false,
 		"disable the seed-anchored alignment cascade and run full-matrix DP on every promising pair (identical output, more work)")
+	fs.BoolVar(&cfg.Lockstep, "lockstep", false,
+		"revert the master-worker phases to the synchronous round-robin protocol (no arrival-order service, no worker prefetch) — the reference arm for overlap measurements")
+	wire := fs.String("wire", "binary", "TCP payload encoding for hot master-worker messages: binary (compact delta/varint frames) or gob")
 
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -154,6 +158,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -reduction %q (want global or domain)", *reduction)
 	}
 	cfg.UseESA = *useESA
+	switch *wire {
+	case "binary":
+		mpi.SetWireFormat(mpi.WireBinary)
+	case "gob":
+		mpi.SetWireFormat(mpi.WireGob)
+	default:
+		return fmt.Errorf("unknown -wire %q (want binary or gob)", *wire)
+	}
 	if *traceOut != "" {
 		if *traceCap <= 0 {
 			return fmt.Errorf("-trace-cap must be positive with -trace-out, got %d", *traceCap)

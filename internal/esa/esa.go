@@ -19,6 +19,7 @@
 package esa
 
 import (
+	"bytes"
 	"sort"
 
 	"profam/internal/seq"
@@ -45,29 +46,54 @@ func BuildBucket(set *seq.Set, b suffixtree.Bucket, opt suffixtree.Options) (*su
 
 	// Suffix array: sort the bucket's suffixes lexicographically. A
 	// shorter suffix that is a prefix of a longer one sorts first — the
-	// terminator-is-least convention of the tree.
+	// terminator-is-least convention of the tree (bytes.Compare gives
+	// exactly that order). Every suffix in the bucket shares its first
+	// pl residues, so a counting pass on the residue just past the
+	// shared prefix splits the sort into independent single-byte groups
+	// — suffixes ending at the prefix take key 0, least — and the
+	// comparator then only ever runs within a group, starting past the
+	// known-equal prefix.
+	pl := len(b.Prefix)
+	key := func(s suffixtree.Suffix) int {
+		r := set.Seqs[s.Seq].Res
+		if int(s.Off)+pl >= len(r) {
+			return 0
+		}
+		return int(r[int(s.Off)+pl])
+	}
+	rest := func(s suffixtree.Suffix) []byte {
+		return set.Seqs[s.Seq].Res[int(s.Off)+pl:]
+	}
+	var bounds [257]int32
+	for _, s := range b.Suffixes {
+		bounds[key(s)+1]++
+	}
+	for k := 1; k < len(bounds); k++ {
+		bounds[k] += bounds[k-1]
+	}
 	order := make([]suffixtree.Suffix, n)
-	copy(order, b.Suffixes)
-	sort.Slice(order, func(i, j int) bool {
-		a, c := suf(order[i]), suf(order[j])
-		m := len(a)
-		if len(c) < m {
-			m = len(c)
+	pos := bounds
+	for _, s := range b.Suffixes {
+		k := key(s)
+		order[pos[k]] = s
+		pos[k]++
+	}
+	for k := 0; k < 256; k++ {
+		g := order[bounds[k]:bounds[k+1]]
+		if len(g) < 2 {
+			continue
 		}
-		for k := 0; k < m; k++ {
-			if a[k] != c[k] {
-				return a[k] < c[k]
+		sort.Slice(g, func(i, j int) bool {
+			if c := bytes.Compare(rest(g[i]), rest(g[j])); c != 0 {
+				return c < 0
 			}
-		}
-		if len(a) != len(c) {
-			return len(a) < len(c)
-		}
-		// Total order for determinism.
-		if order[i].Seq != order[j].Seq {
-			return order[i].Seq < order[j].Seq
-		}
-		return order[i].Off < order[j].Off
-	})
+			// Total order for determinism.
+			if g[i].Seq != g[j].Seq {
+				return g[i].Seq < g[j].Seq
+			}
+			return g[i].Off < g[j].Off
+		})
+	}
 
 	// Leaves in suffix-array order, with left characters.
 	t.Leaves = make([]suffixtree.Leaf, n)

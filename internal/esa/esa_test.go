@@ -173,6 +173,22 @@ func BenchmarkBuildESA(b *testing.B) {
 	}
 }
 
+// BenchmarkESABuild stresses the suffix-array sort harder than
+// BenchmarkBuildESA: a bigger corpus over a 6-letter alphabet produces
+// deep buckets with long shared prefixes, which is where the radix
+// presort and bytes.Compare comparator earn their keep.
+func BenchmarkESABuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	set := randomSet(rng, 400, 300)
+	opt := suffixtree.Options{MinMatch: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(set, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkBuildTreeReference(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	set := randomSet(rng, 200, 150)

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"profam"
+	"profam/internal/mpi"
+	"profam/internal/pace"
+	"profam/internal/seq"
+	"profam/internal/trace"
+	"profam/internal/workload"
+)
+
+// OverlapCorpus is the shared input for the protocol-comparison
+// experiments: sized so the RR and CCD master–worker phases carry
+// enough batches for lockstep and overlapped timing to genuinely
+// diverge, and fixed-seed so the simulated numbers are exactly
+// reproducible.
+func OverlapCorpus() *seq.Set {
+	set, _ := workload.Generate(workload.Params{
+		Families: 5, MeanFamilySize: 25, MeanLength: 110,
+		Divergence: 0.09, IndelRate: 0.004, Subfamilies: 2,
+		ContainedFrac: 0.2, Singletons: 5, Seed: 2024,
+	})
+	return set
+}
+
+// OverlapConfig is the pipeline configuration paired with
+// OverlapCorpus in the protocol-comparison experiments.
+func OverlapConfig() profam.Config {
+	return profam.Config{Psi: 6, MinComponentSize: 3, MinFamilySize: 3,
+		BatchPairs: 256, BatchTasks: 64}
+}
+
+// PipelineTCP runs the full pipeline on a 2-rank loopback TCP mesh —
+// the genuine socket path, so the wire format actually matters. The
+// caller picks the format with mpi.SetWireFormat and a free port range.
+func PipelineTCP(set *seq.Set, cfg profam.Config, basePort int) error {
+	profam.RegisterWireTypes()
+	return mpi.RunTCP(2, basePort, func(c *mpi.Comm) {
+		if _, err := profam.RunPipelineOn(c, set, cfg); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// MasterRoundBatches builds deterministic, realistically-shaped
+// worker batches (near-monotone pair ids, small offsets — the traffic
+// the delta codec is tuned for) for the master-round kernel.
+func MasterRoundBatches(n, batch int, seed int64) []pace.WorkerMsg {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]pace.WorkerMsg, n)
+	for i := range out {
+		var m pace.WorkerMsg
+		a := int32(rng.Intn(50))
+		for j := 0; j < batch; j++ {
+			a += int32(rng.Intn(3))
+			m.Pairs = append(m.Pairs, pace.PairItem{
+				A: a, B: a + 1 + int32(rng.Intn(60)),
+				OffA: int32(rng.Intn(300)), OffB: int32(rng.Intn(300)),
+				Len: 8 + int32(rng.Intn(50)),
+			})
+			m.Results = append(m.Results, pace.AlignOutcome{
+				A: a, B: a + 1 + int32(rng.Intn(60)),
+				OK: rng.Intn(3) > 0, Stage: int8(1 + rng.Intn(3)),
+				Cells: int64(rng.Intn(20000)), FullCells: int64(10000 + rng.Intn(90000)),
+			})
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// MasterRoundLatency measures the master–worker exchange in isolation:
+// a 2-rank TCP mesh ping-pongs every batch as one WorkerMsg request and
+// one MasterMsg reply, exactly the envelope and encode/decode path of a
+// protocol round without any alignment work attached.
+func MasterRoundLatency(batches []pace.WorkerMsg, basePort int) error {
+	pace.RegisterWireTypes()
+	return mpi.RunTCP(2, basePort, func(c *mpi.Comm) {
+		if c.Rank() == 1 {
+			for _, b := range batches {
+				c.Send(0, 10, b)
+				m := c.Recv(0, 11).Data.(pace.MasterMsg)
+				if len(m.Tasks) != len(b.Pairs) {
+					panic("master round echo mismatch")
+				}
+			}
+			return
+		}
+		for range batches {
+			m := c.Recv(1, 10).Data.(pace.WorkerMsg)
+			c.Send(1, 11, pace.MasterMsg{Tasks: m.Pairs})
+		}
+	})
+}
+
+// WireBytesRatio ships the given batches over a 2-rank loopback TCP
+// mesh under gob and then under the binary codec and returns the
+// worker→master byte ratio gob/binary — the codec's measured reduction
+// of mpi_bytes_sent{transport=tcp}. Uses basePort and basePort+16.
+func WireBytesRatio(batches []pace.WorkerMsg, basePort int) (float64, error) {
+	pace.RegisterWireTypes()
+	defer mpi.SetWireFormat(mpi.WireBinary)
+	measure := func(f mpi.WireFormat, port int) (int64, error) {
+		mpi.SetWireFormat(f)
+		var sent int64
+		err := mpi.RunTCP(2, port, func(c *mpi.Comm) {
+			if c.Rank() == 1 {
+				for _, b := range batches {
+					c.Send(0, 10, b)
+					c.Recv(0, 11)
+				}
+				sent = c.Stats().BytesSent
+				return
+			}
+			for range batches {
+				m := c.Recv(1, 10).Data.(pace.WorkerMsg)
+				c.Send(1, 11, pace.MasterMsg{Tasks: m.Pairs})
+			}
+		})
+		return sent, err
+	}
+	gob, err := measure(mpi.WireGob, basePort)
+	if err != nil {
+		return 0, err
+	}
+	bin, err := measure(mpi.WireBinary, basePort+16)
+	if err != nil {
+		return 0, err
+	}
+	if bin == 0 {
+		return 0, fmt.Errorf("no bytes measured")
+	}
+	return float64(gob) / float64(bin), nil
+}
+
+// OverlapStats quantifies the overlapped protocol's win over lockstep
+// on the virtual machine: makespans, and the share of worker life spent
+// blocked waiting for the master's next task batch.
+type OverlapStats struct {
+	MakespanLockstep float64
+	MakespanOverlap  float64
+	// TaskWaitShare* is Σ worker task-wait seconds / ((p-1) · makespan)
+	// of the respective run — the fraction of aggregate worker capacity
+	// burned waiting on the master.
+	TaskWaitShareLockstep float64
+	TaskWaitShareOverlap  float64
+}
+
+// Speedup is the virtual-makespan ratio lockstep/overlap.
+func (s OverlapStats) Speedup() float64 {
+	if s.MakespanOverlap == 0 {
+		return 0
+	}
+	return s.MakespanLockstep / s.MakespanOverlap
+}
+
+// WaitReduction is the factor by which the worker task-wait share fell.
+func (s OverlapStats) WaitReduction() float64 {
+	if s.TaskWaitShareOverlap == 0 {
+		return 0
+	}
+	return s.TaskWaitShareLockstep / s.TaskWaitShareOverlap
+}
+
+// ClusterLike returns a commodity-cluster cost model (tens-of-µs
+// message overheads, 100 µs latency, ~100 MB/s links) — the
+// communication-dominated regime where the lockstep protocol's
+// per-round synchronization actually stalls workers. The BlueGene-like
+// torus of the scaling figures has such cheap messaging that the master
+// never becomes the bottleneck at simulable rank counts.
+func ClusterLike() mpi.CostModel {
+	return mpi.CostModel{
+		SendOverhead: 2e-5,
+		RecvOverhead: 2e-5,
+		Latency:      1e-4,
+		SecPerByte:   1.0 / 100e6,
+	}
+}
+
+// StragglerLink returns ClusterLike with every link touching rank
+// p-1 slowed to a 10 ms latency — one distant or congested node, the
+// regime the lockstep protocol handles worst: its global round barrier
+// makes every worker wait out the slow link's round-trip every round,
+// while the arrival-order master only ever delays the straggler itself.
+// On the paper's torus the same shape appears whenever a partition
+// spans distant nodes.
+func StragglerLink(p int) mpi.CostModel {
+	cm := ClusterLike()
+	base := cm.Latency
+	slow := p - 1
+	cm.Latency = 0
+	cm.RankLatency = func(from, to int) float64 {
+		if from == slow || to == slow {
+			return 1e-2
+		}
+		return base
+	}
+	return cm
+}
+
+// OverlapWin runs the pipeline twice on p simulated ranks under the
+// given cost model — lockstep and overlapped — and derives the
+// comparison. Both runs execute the identical workload; only the
+// protocol differs.
+func OverlapWin(set *seq.Set, cfg profam.Config, p int, cm mpi.CostModel) (OverlapStats, error) {
+	var st OverlapStats
+	run := func(lockstep bool) (float64, float64, error) {
+		c := cfg
+		c.Lockstep = lockstep
+		c.TraceCapacity = 1 << 17
+		if c.ThreadsPerRank == 0 {
+			c.ThreadsPerRank = 1
+		}
+		var res *profam.Result
+		var rerr error
+		span, err := mpi.RunSim(p, cm, func(comm *mpi.Comm) {
+			r, e := profam.RunPipelineOn(comm, set, c)
+			if comm.Rank() == 0 {
+				res, rerr = r, e
+			}
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		an := trace.Analyze(res.Trace)
+		var wait float64
+		for _, rb := range an.Ranks {
+			if rb.Rank != 0 {
+				wait += rb.TaskWait
+			}
+		}
+		if span <= 0 || p < 2 {
+			return span, 0, fmt.Errorf("overlap comparison needs p >= 2 and a positive makespan")
+		}
+		return span, wait / (float64(p-1) * span), nil
+	}
+	var err error
+	if st.MakespanLockstep, st.TaskWaitShareLockstep, err = run(true); err != nil {
+		return st, err
+	}
+	if st.MakespanOverlap, st.TaskWaitShareOverlap, err = run(false); err != nil {
+		return st, err
+	}
+	return st, nil
+}

@@ -71,8 +71,9 @@ type inprocTransport struct {
 func (t *inprocTransport) rank() int    { return t.r }
 func (t *inprocTransport) size() int    { return t.job.n }
 func (t *inprocTransport) name() string { return "inproc" }
-func (t *inprocTransport) send(to, tag int, data any) {
+func (t *inprocTransport) send(to, tag int, data any) int {
 	t.job.boxes[to].put(Message{From: t.r, Tag: tag, Data: data})
+	return payloadBytes(data)
 }
 func (t *inprocTransport) recv(from, tag int) Message {
 	return t.job.boxes[t.r].take(from, tag)

@@ -37,6 +37,11 @@ type Message struct {
 	From int
 	Tag  int
 	Data any
+
+	// wire is the measured on-the-wire size in bytes when the transport
+	// knows it (TCP counts the actual encoded stream); 0 means unknown
+	// and the estimate from payloadBytes is used for accounting.
+	wire int
 }
 
 // Sized lets a payload report its approximate wire size in bytes, which
@@ -81,7 +86,10 @@ type transport interface {
 	rank() int
 	size() int
 	name() string // transport label for metrics: inproc, sim, tcp
-	send(to, tag int, data any)
+	// send delivers data and returns the number of bytes accounted to
+	// the wire: the measured encoded size on TCP, the payloadBytes
+	// estimate on the in-memory transports.
+	send(to, tag int, data any) int
 	recv(from, tag int) Message
 	advance(seconds float64)
 	time() float64
@@ -134,7 +142,7 @@ func (c *Comm) AttachTracer(tr *trace.Tracer) { c.tracer = tr }
 // send/recv wrap the transport with volume accounting; every Comm path
 // (point-to-point and collectives) goes through them.
 func (c *Comm) send(to, tag int, data any) {
-	nb := int64(payloadBytes(data))
+	nb := int64(c.tr.send(to, tag, data))
 	c.stats.MsgsSent++
 	c.stats.BytesSent += nb
 	c.msgsSent.Inc()
@@ -142,7 +150,6 @@ func (c *Comm) send(to, tag int, data any) {
 	if c.tracer != nil {
 		c.tracer.Instant(trace.CatComm, "send", "to", int64(to), "bytes", nb)
 	}
-	c.tr.send(to, tag, data)
 }
 
 func (c *Comm) recv(from, tag int) Message {
@@ -151,7 +158,10 @@ func (c *Comm) recv(from, tag int) Message {
 		t0 = c.tr.time()
 	}
 	m := c.tr.recv(from, tag)
-	nb := int64(payloadBytes(m.Data))
+	nb := int64(m.wire)
+	if nb == 0 {
+		nb = int64(payloadBytes(m.Data))
+	}
 	c.stats.MsgsRecv++
 	c.stats.BytesRecv += nb
 	c.msgsRecv.Inc()
@@ -187,6 +197,22 @@ func (c *Comm) Send(to, tag int, data any) {
 // is available and returns it. Matching is FIFO per sender.
 func (c *Comm) Recv(from, tag int) Message {
 	return c.recv(from, tag)
+}
+
+// RecvAny blocks until the next message carrying tag arrives from any
+// sender and returns it, serving strictly in arrival order:
+//
+//   - inproc/tcp: ranks share one merged delivery queue per receiver, so
+//     the match is the oldest queued message with the tag, regardless of
+//     sender — first to land is first served.
+//   - simtime: the match is the message with the earliest virtual arrival
+//     timestamp, with deterministic (sender rank, send sequence)
+//     tie-breaking, so event-driven protocols replay identically.
+//
+// It is the building block for arrival-order master loops that service
+// whichever worker is ready instead of polling ranks in order.
+func (c *Comm) RecvAny(tag int) Message {
+	return c.recv(Any, tag)
 }
 
 // Advance charges seconds of compute time to this rank's clock. It is a

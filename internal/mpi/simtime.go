@@ -15,6 +15,21 @@ type CostModel struct {
 	RecvOverhead float64 // seconds charged to the receiver per message (o_r)
 	Latency      float64 // seconds of network transit (L)
 	SecPerByte   float64 // inverse bandwidth (1/G)
+
+	// RankLatency, when non-nil, replaces Latency per (from, to) link.
+	// It models heterogeneous networks — e.g. adversarially permuted
+	// per-rank delays when testing that results are independent of
+	// message arrival order.
+	RankLatency func(from, to int) float64
+}
+
+// latency returns the transit time for a message from rank `from` to
+// rank `to`.
+func (cm CostModel) latency(from, to int) float64 {
+	if cm.RankLatency != nil {
+		return cm.RankLatency(from, to)
+	}
+	return cm.Latency
 }
 
 // BlueGeneLike returns a cost model loosely shaped on a 2008-era
@@ -188,22 +203,24 @@ func (t *simTransport) time() float64 {
 	return j.clock[t.r]
 }
 
-func (t *simTransport) send(to, tag int, data any) {
+func (t *simTransport) send(to, tag int, data any) int {
 	j := t.job
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.aborted != nil {
 		panic(j.aborted)
 	}
-	j.clock[t.r] += j.cm.SendOverhead + float64(payloadBytes(data))*j.cm.SecPerByte
+	nb := payloadBytes(data)
+	j.clock[t.r] += j.cm.SendOverhead + float64(nb)*j.cm.SecPerByte
 	j.sendSeq[t.r]++
 	j.boxes[to] = append(j.boxes[to], simMsg{
 		Message: Message{From: t.r, Tag: tag, Data: data},
-		arrival: j.clock[t.r] + j.cm.Latency,
+		arrival: j.clock[t.r] + j.cm.latency(t.r, to),
 		seq:     j.sendSeq[t.r],
 	})
 	// The sender keeps running; grants cannot legally happen until it
 	// parks, so no dispatch here.
+	return nb
 }
 
 func (t *simTransport) recv(from, tag int) Message {

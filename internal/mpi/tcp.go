@@ -3,12 +3,15 @@ package mpi
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 )
 
-// wireMsg is the gob envelope exchanged over TCP.
+// wireMsg is the gob envelope exchanged over TCP. Data is either the
+// payload itself (gob-encoded) or a rawFrame holding a compact binary
+// encoding of it (see codec.go).
 type wireMsg struct {
 	From int
 	Tag  int
@@ -21,31 +24,83 @@ type wireMsg struct {
 // registration.
 func RegisterType(v any) { gob.Register(v) }
 
+// countWriter measures the bytes a gob encoder actually puts on the
+// socket, so mpi_bytes_sent{transport=tcp} reports wire truth rather
+// than the payloadBytes estimate. Guarded by the owning peer's mutex.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// countReader is the receive-side twin; only the peer's readLoop
+// goroutine touches n.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// tcpPeer is one outgoing edge of the mesh. Each peer owns its encoder
+// and lock so concurrent sends to different peers never serialize on a
+// shared mutex.
+type tcpPeer struct {
+	mu   sync.Mutex // guards enc + cw
+	enc  *gob.Encoder
+	cw   *countWriter
+	conn net.Conn
+}
+
 // tcpTransport is one rank's endpoint of a fully connected TCP mesh.
 type tcpTransport struct {
 	r, n  int
 	start time.Time
 	box   *mailbox
-
-	mu    sync.Mutex // guards encoders
-	encs  []*gob.Encoder
-	conns []net.Conn
+	peers []*tcpPeer
 }
 
 func (t *tcpTransport) rank() int    { return t.r }
 func (t *tcpTransport) size() int    { return t.n }
 func (t *tcpTransport) name() string { return "tcp" }
 
-func (t *tcpTransport) send(to, tag int, data any) {
+func (t *tcpTransport) send(to, tag int, data any) int {
 	if to == t.r {
 		t.box.put(Message{From: t.r, Tag: tag, Data: data})
-		return
+		return payloadBytes(data)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.encs[to].Encode(wireMsg{From: t.r, Tag: tag, Data: data}); err != nil {
+	payload := data
+	var scratch *[]byte
+	if CurrentWireFormat() == WireBinary {
+		if bp, ok := data.(BinaryPayload); ok {
+			scratch = wireBufPool.Get().(*[]byte)
+			body := bp.AppendBinary((*scratch)[:0])
+			*scratch = body // keep any growth for reuse
+			payload = rawFrame{Kind: bp.WireKind(), Body: body}
+		}
+	}
+	p := t.peers[to]
+	p.mu.Lock()
+	before := p.cw.n
+	err := p.enc.Encode(wireMsg{From: t.r, Tag: tag, Data: payload})
+	sent := p.cw.n - before
+	p.mu.Unlock()
+	if scratch != nil {
+		wireBufPool.Put(scratch) // Encode has flushed; safe to recycle
+	}
+	if err != nil {
 		panic(fmt.Sprintf("mpi: tcp send rank %d -> %d: %v", t.r, to, err))
 	}
+	return int(sent)
 }
 
 func (t *tcpTransport) recv(from, tag int) Message { return t.box.take(from, tag) }
@@ -54,21 +109,33 @@ func (t *tcpTransport) time() float64              { return time.Since(t.start).
 
 // readLoop pumps messages from one peer. It must use the same Decoder
 // that read the handshake: gob decoders buffer ahead, so a second decoder
-// on the same connection would lose bytes.
-func (t *tcpTransport) readLoop(dec *gob.Decoder) {
+// on the same connection would lose bytes. Binary frames are decoded here
+// — off the receiving rank's critical path — and a decode failure poisons
+// the mailbox so the rank unwinds instead of hanging.
+func (t *tcpTransport) readLoop(dec *gob.Decoder, cr *countReader) {
 	for {
+		before := cr.n
 		var m wireMsg
 		if err := dec.Decode(&m); err != nil {
 			return // peer closed; job is ending
 		}
-		t.box.put(Message{From: m.From, Tag: m.Tag, Data: m.Data})
+		data := m.Data
+		if f, ok := data.(rawFrame); ok {
+			v, err := decodeBinaryFrame(f)
+			if err != nil {
+				t.box.put(Message{From: m.From, Tag: abortTag, Data: err})
+				return
+			}
+			data = v
+		}
+		t.box.put(Message{From: m.From, Tag: m.Tag, Data: data, wire: int(cr.n - before)})
 	}
 }
 
 func (t *tcpTransport) close() {
-	for _, c := range t.conns {
-		if c != nil {
-			c.Close()
+	for _, p := range t.peers {
+		if p != nil && p.conn != nil {
+			p.conn.Close()
 		}
 	}
 }
@@ -86,10 +153,11 @@ func DialMesh(r int, addrs []string) (*Comm, func(), error) {
 		r: r, n: n,
 		start: time.Now(),
 		box:   newMailbox(),
-		encs:  make([]*gob.Encoder, n),
-		conns: make([]net.Conn, n),
+		peers: make([]*tcpPeer, n),
 	}
 	decs := make([]*gob.Decoder, n)
+	crs := make([]*countReader, n)
+	conns := make([]net.Conn, n)
 
 	ln, err := net.Listen("tcp", addrs[r])
 	if err != nil {
@@ -117,14 +185,16 @@ func DialMesh(r int, addrs []string) (*Comm, func(), error) {
 				setErr(fmt.Errorf("mpi: rank %d accept: %w", r, err))
 				return
 			}
-			dec := gob.NewDecoder(conn)
+			cr := &countReader{r: conn}
+			dec := gob.NewDecoder(cr)
 			var peer int
 			if err := dec.Decode(&peer); err != nil {
 				setErr(fmt.Errorf("mpi: rank %d handshake: %w", r, err))
 				return
 			}
-			t.conns[peer] = conn
+			conns[peer] = conn
 			decs[peer] = dec
+			crs[peer] = cr
 		}
 	}()
 
@@ -146,33 +216,40 @@ func DialMesh(r int, addrs []string) (*Comm, func(), error) {
 				setErr(fmt.Errorf("mpi: rank %d dial rank %d: %w", r, peer, err))
 				return
 			}
-			enc := gob.NewEncoder(conn)
+			cw := &countWriter{w: conn}
+			enc := gob.NewEncoder(cw)
 			if err := enc.Encode(r); err != nil {
 				setErr(fmt.Errorf("mpi: rank %d handshake to %d: %w", r, peer, err))
 				return
 			}
-			t.conns[peer] = conn
-			t.encs[peer] = enc
+			conns[peer] = conn
+			t.peers[peer] = &tcpPeer{enc: enc, cw: cw, conn: conn}
 		}(peer)
 	}
 	wg.Wait()
 	if firstErr != nil {
 		ln.Close()
-		t.close()
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
 		return nil, nil, firstErr
 	}
 
-	for peer, conn := range t.conns {
+	for peer, conn := range conns {
 		if peer == r || conn == nil {
 			continue
 		}
-		if t.encs[peer] == nil { // accepted connection: writer not yet set up
-			t.encs[peer] = gob.NewEncoder(conn)
+		if t.peers[peer] == nil { // accepted connection: writer not yet set up
+			cw := &countWriter{w: conn}
+			t.peers[peer] = &tcpPeer{enc: gob.NewEncoder(cw), cw: cw, conn: conn}
 		}
 		if decs[peer] == nil { // dialed connection: reader not yet set up
-			decs[peer] = gob.NewDecoder(conn)
+			crs[peer] = &countReader{r: conn}
+			decs[peer] = gob.NewDecoder(crs[peer])
 		}
-		go t.readLoop(decs[peer])
+		go t.readLoop(decs[peer], crs[peer])
 	}
 
 	cleanup := func() {

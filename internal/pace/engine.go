@@ -28,6 +28,7 @@ type phaseCounters struct {
 	batchTasks                *metrics.Histogram // alignment tasks per master→worker batch
 	batchPairs                *metrics.Histogram // promising pairs per worker→master batch
 	queueDepth                *metrics.Gauge     // high-water mark of the master's pending heap
+	quota                     *metrics.Gauge     // high-water adaptive per-worker task quota
 	// cascadeStage[s] counts pairs decided by cascade stage s
 	// (prefilter/banded/full); cascadeFullCells accumulates what those
 	// pairs would have cost under the exact full-matrix predicates, so
@@ -56,6 +57,7 @@ func newPhaseCounters(reg *metrics.Registry, phase string) phaseCounters {
 		batchTasks:   reg.Histogram(l("pace_batch_tasks")),
 		batchPairs:   reg.Histogram(l("pace_batch_pairs")),
 		queueDepth:   reg.Gauge(l("pace_queue_depth")),
+		quota:        reg.Gauge(l("pace_batch_quota")),
 		cascadeStage: make(map[align.Stage]*metrics.Counter),
 		reg:          reg,
 		phase:        phase,
@@ -361,6 +363,168 @@ func runMaster(c *mpi.Comm, ms *masterState) {
 	}
 }
 
+// overlapWorker is the master's per-worker protocol bookkeeping for the
+// event-driven loop.
+type overlapWorker struct {
+	exhausted   bool // the worker's pair source is drained
+	outstanding int  // tasks dispatched whose outcomes have not come back
+	owed        int  // requests received and not yet answered (parked)
+	quota       int  // adaptive task quota: slow-start, doubles per productive dispatch
+	expect      int  // requests this worker will send in total (grows per non-Done reply)
+	received    int  // requests received so far
+}
+
+// runMasterOverlap drives the event-driven master loop on rank 0: it
+// serves worker messages strictly in arrival order (RecvAny) and answers
+// each request individually, so a fast worker is never stalled behind a
+// slow one the way the lockstep global round stalls it.
+//
+// Protocol: each worker keeps PrefetchDepth requests in flight; every
+// non-Done reply provokes exactly one further request (carrying the
+// next pair batch and the outcomes of the batch the worker just
+// finished), which is the accounting behind expect/received — the
+// master knows precisely how many requests remain, so the phase
+// terminates with zero messages left in flight even though tags are
+// reused by the next phase.
+//
+// A request is answered immediately unless the worker is a pure task
+// sink with an empty queue (exhausted, nothing to dispatch): answering
+// it with an empty batch would spin an idle request/reply loop, so it
+// parks until new tasks arrive or the phase completes. Parking a worker
+// with outstanding tasks is safe: each of the replies it already holds
+// provokes one results-bearing request, so the outcomes the termination
+// condition waits for arrive without any further prompting.
+func runMasterOverlap(c *mpi.Comm, ms *masterState) {
+	p := c.Size()
+	tr := ms.cfg.Trace
+	phase := ms.ctr.phase
+	depth := ms.cfg.PrefetchDepth
+	// With depth requests in flight per worker, a per-dispatch quota of
+	// BatchTasks/depth keeps each worker's undispatchable window (tasks
+	// the closure filter can no longer recall) at BatchTasks — the same
+	// window the lockstep protocol exposes. A larger quota overlaps no
+	// better and measurably inflates the aligned-pair count: stale tasks
+	// connecting already-merged clusters slip past the filter.
+	maxQuota := ms.cfg.BatchTasks / max(1, depth)
+	if maxQuota < 1 {
+		maxQuota = 1
+	}
+	initialQuota := maxQuota / 8
+	if initialQuota < 1 {
+		initialQuota = 1
+	}
+	ws := make([]overlapWorker, p)
+	for w := 1; w < p; w++ {
+		ws[w] = overlapWorker{quota: initialQuota, expect: depth}
+	}
+	done := false
+
+	reply := func(w int) {
+		s := &ws[w]
+		var tasks []PairItem
+		if !done {
+			quota := s.quota
+			if fair := ms.pending.Len()/(p-1) + 1; fair < quota {
+				quota = fair
+			}
+			tasks = ms.popTasks(quota)
+			if len(tasks) > 0 {
+				ms.ctr.batchTasks.Observe(int64(len(tasks)))
+				s.outstanding += len(tasks)
+				if s.quota < maxQuota {
+					s.quota *= 2
+					if s.quota > maxQuota {
+						s.quota = maxQuota
+					}
+				}
+				ms.ctr.quota.SetMax(float64(s.quota))
+			}
+			s.expect++ // one more request will answer this reply
+		}
+		s.owed--
+		tr.Instant(trace.CatMaster, phase+"/dispatch",
+			"to", int64(w), "tasks", int64(len(tasks)))
+		c.Send(w, tagMaster, MasterMsg{Tasks: tasks, Done: done})
+	}
+
+	var served int64
+	for {
+		if done {
+			finished := true
+			for w := 1; w < p; w++ {
+				if ws[w].received < ws[w].expect || ws[w].owed > 0 {
+					finished = false
+					break
+				}
+			}
+			if finished {
+				return
+			}
+		}
+		t0 := tr.Now()
+		in := c.RecvAny(tagWorker)
+		msg := in.Data.(WorkerMsg)
+		w := in.From
+		s := &ws[w]
+		if msg.Request {
+			s.received++
+			s.owed++
+		}
+		served++
+		ms.ctr.rounds.Inc()
+		tr.Instant(trace.CatMaster, phase+"/collect",
+			"pairs", int64(len(msg.Pairs)), "results", int64(len(msg.Results)))
+		ms.absorbResults(msg.Results)
+		s.outstanding -= len(msg.Results)
+		if msg.Exhausted {
+			s.exhausted = true
+		}
+		ms.ctr.generated.Add(int64(len(msg.Pairs)))
+		if len(msg.Pairs) > 0 {
+			ms.ctr.batchPairs.Observe(int64(len(msg.Pairs)))
+		}
+		nops := ms.ingestPairs(msg.Pairs)
+		c.Advance(float64(nops+len(msg.Results)) * ms.cfg.Costs.SecPerPairFilter)
+
+		if !done {
+			done = ms.pending.Len() == 0
+			for v := 1; v < p && done; v++ {
+				if !ws[v].exhausted || ws[v].outstanding > 0 {
+					done = false
+				}
+			}
+		}
+		if done {
+			// The clustering state is final (absorbing: no pending tasks,
+			// no outcomes in flight, no pairs to come). Answer everything
+			// owed with Done; later arrivals get theirs on receipt.
+			for v := 1; v < p; v++ {
+				for ws[v].owed > 0 {
+					reply(v)
+				}
+			}
+		} else {
+			if msg.Request && !(s.exhausted && ms.pending.Len() == 0) {
+				reply(w)
+			}
+			// New pairs may have unparked idle workers: feed them while
+			// tasks remain.
+			for v := 1; v < p && ms.pending.Len() > 0; v++ {
+				for ws[v].owed > 0 && ms.pending.Len() > 0 {
+					reply(v)
+				}
+			}
+		}
+		tr.Count(trace.CatMaster, phase+"/queue", int64(ms.pending.Len()))
+		tr.Count(trace.CatMaster, phase+"/merges", ms.merges)
+		tr.Span(trace.CatMaster, phase+"/round", t0, tr.Now(),
+			"round", served, "queue", int64(ms.pending.Len()))
+		ms.cfg.Log.Debug("master service",
+			"phase", phase, "served", served, "from", w,
+			"queue", ms.pending.Len(), "merges", ms.merges, "t", c.Time())
+	}
+}
+
 // alignBatch computes the outcomes for one assigned task batch on the
 // rank's goroutine pool. Outcomes land at the same index as their task,
 // so the result order — and everything the master derives from it — is
@@ -410,8 +574,13 @@ func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg C
 			tr.Instant(trace.CatWorker, phase+"/pairgen",
 				"pairs", int64(len(pairs)), "exhausted", ex)
 		}
-		c.Send(0, tagWorker, WorkerMsg{Pairs: pairs, Exhausted: exhausted, Results: results})
+		c.Send(0, tagWorker, WorkerMsg{Pairs: pairs, Exhausted: exhausted, Results: results, Request: true})
+		w0 := tr.Now()
 		msg := c.Recv(0, tagMaster).Data.(MasterMsg)
+		// The full master round-trip is dead time in lockstep: the worker
+		// holds no other work. Recording it as an explicit task-wait span
+		// is what lets trace.Analyze show the overlapped protocol's win.
+		tr.Span(trace.CatComm, "task-wait", w0, tr.Now(), "from", 0, "inflight", 0)
 		if msg.Done {
 			return
 		}
@@ -423,6 +592,81 @@ func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg C
 		// the batch's charged virtual compute.
 		tr.Span(trace.CatWorker, phase+"/align", t0, tr.Now(),
 			"tasks", int64(len(msg.Tasks)), "cells", cells)
+	}
+}
+
+// runWorkerOverlap drives the double-buffered worker loop on ranks
+// 1..p-1. The worker opens PrefetchDepth requests up front and, from
+// then on, answers every non-Done reply with the next request *before*
+// aligning the batch it just received, so the master's reply to the
+// prefetched request is (ideally) already queued when the current batch
+// finishes, hiding the round-trip behind alignment compute.
+//
+// Task outcomes ship on the request sent right *after* the batch
+// completes — not on the one sent before it. The distinction matters: a
+// stale master is an expensive master (every outcome it hasn't absorbed
+// yet is a cluster merge its closure filter can't use, so late reports
+// directly inflate the number of pairs the whole mesh aligns), and with
+// depth ≥ 2 the previously posted request already keeps the master busy
+// through the compute window, so deferring the next request to after
+// the alignment costs no overlap while making its piggybacked outcomes
+// as fresh as a dedicated report message would be — without doubling
+// the phase's message count.
+func runWorkerOverlap(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg Config, phase string) {
+	sp := cfg.Metrics.StartSpan(phase + "/exchange")
+	defer sp.End()
+	tr := cfg.Trace
+	threads := max(1, cfg.Threads)
+	cache := pool.NewAlignerCache(cfg.Scoring)
+	obs := poolObserver(cfg.Metrics, phase, "align")
+	exhausted := false
+	sent, recvd := 0, 0
+	request := func(results []AlignOutcome) {
+		var pairs []PairItem
+		if !exhausted {
+			pairs, exhausted = src.next(cfg.BatchPairs)
+			c.Advance(float64(len(pairs)) * cfg.Costs.SecPerPairGen)
+			var ex int64
+			if exhausted {
+				ex = 1
+			}
+			tr.Instant(trace.CatWorker, phase+"/pairgen",
+				"pairs", int64(len(pairs)), "exhausted", ex)
+		}
+		sent++
+		c.Send(0, tagWorker, WorkerMsg{Pairs: pairs, Exhausted: exhausted, Results: results, Request: true})
+	}
+	for i := 0; i < cfg.PrefetchDepth; i++ {
+		request(nil)
+	}
+	for {
+		w0 := tr.Now()
+		msg := c.Recv(0, tagMaster).Data.(MasterMsg)
+		recvd++
+		tr.Span(trace.CatComm, "task-wait", w0, tr.Now(),
+			"from", 0, "inflight", int64(sent-recvd))
+		if msg.Done {
+			// Done implies the master saw every outcome (its outstanding
+			// count for this worker was zero), so nothing is unreported.
+			// Every request gets exactly one reply and the stragglers are
+			// all Done; drain them so the phase leaves nothing in flight.
+			for recvd < sent {
+				c.Recv(0, tagMaster)
+				recvd++
+			}
+			return
+		}
+		t0 := tr.Now()
+		results, cells := alignBatch(cache, threads, set, wl, msg.Tasks, nil, obs)
+		c.Advance(float64(pool.CeilDiv(cells, threads)) * cfg.Costs.SecPerCell)
+		tr.Span(trace.CatWorker, phase+"/align", t0, tr.Now(),
+			"tasks", int64(len(msg.Tasks)), "cells", cells)
+		// Ship the finished batch's outcomes with the next request. The
+		// in-process transports hand the slice over by reference and the
+		// master absorbs it asynchronously, so ownership transfers on
+		// send — each batch allocates fresh (nil above) instead of
+		// reusing the buffer.
+		request(results)
 	}
 }
 
@@ -509,7 +753,11 @@ func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Con
 	assign := suffixtree.AssignBuckets(buckets, p-1)
 	if c.Rank() == 0 {
 		sp := cfg.Metrics.StartSpan(phase + "/exchange")
-		runMaster(c, ms)
+		if cfg.Lockstep {
+			runMaster(c, ms)
+		} else {
+			runMasterOverlap(c, ms)
+		}
 		sp.End()
 		raw := c.ReduceInt64(0, 0, addInt64)
 		st := ms.ctr.stats()
@@ -522,7 +770,11 @@ func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Con
 		return Stats{}, err
 	}
 	src := newPairSource(trees)
-	runWorker(c, set, wl, src, cfg, phase)
+	if cfg.Lockstep {
+		runWorker(c, set, wl, src, cfg, phase)
+	} else {
+		runWorkerOverlap(c, set, wl, src, cfg, phase)
+	}
 	// The enumerating ranks own the raw-pair counter; the master's Stats
 	// read-out gets the total via the reduction below.
 	cfg.Metrics.Counter(metrics.Name("pace_pairs_raw", "phase", phase)).Add(src.raw)

@@ -81,8 +81,21 @@ type Config struct {
 	// master per round (default 4096).
 	BatchPairs int
 	// BatchTasks is how many alignment tasks the master assigns to one
-	// worker per round (default 512).
+	// worker per round (default 512). Under the overlapped protocol this
+	// is the ceiling of the per-worker adaptive quota, which slow-starts
+	// at BatchTasks/8 and doubles on every productive dispatch.
 	BatchTasks int
+	// PrefetchDepth is how many task requests a worker keeps in flight
+	// under the overlapped protocol (default 2): the next batch is
+	// requested before the current one is aligned, so compute overlaps
+	// the master round-trip.
+	PrefetchDepth int
+	// Lockstep reverts to the global-round protocol: the master collects
+	// from every worker in rank order, then dispatches to every worker,
+	// once per round. It is the reference arm for the arrival-order
+	// invariance tests and for measuring the overlap win; the default is
+	// the event-driven arrival-order protocol.
+	Lockstep bool
 	// Threads bounds the intra-rank goroutine pool used for index
 	// construction and batch alignment (the hybrid rank×thread model).
 	// 0 or 1 means serial — the host-independent default, so simulated
@@ -141,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchTasks == 0 {
 		c.BatchTasks = 512
+	}
+	if c.PrefetchDepth == 0 {
+		c.PrefetchDepth = 2
 	}
 	if c.Scoring == nil {
 		c.Scoring = align.DefaultScoring()
@@ -215,11 +231,17 @@ type AlignOutcome struct {
 	FullCells int64
 }
 
-// WorkerMsg is the worker→master round payload.
+// WorkerMsg is the worker→master payload: the next pair batch, the
+// outcomes of the worker's most recently finished task batch, and the
+// Request marker telling the master this message is owed exactly one
+// MasterMsg reply. Both protocols currently send only requests; the
+// flag exists so a fire-and-forget report (outcomes with no reply debt)
+// stays expressible on the wire.
 type WorkerMsg struct {
 	Pairs     []PairItem
 	Exhausted bool // no more pairs will come from this worker
 	Results   []AlignOutcome
+	Request   bool // this message expects a MasterMsg reply
 }
 
 // WireSize implements mpi.Sized.
@@ -234,8 +256,11 @@ type MasterMsg struct {
 // WireSize implements mpi.Sized.
 func (m MasterMsg) WireSize() int { return 16 + 20*len(m.Tasks) }
 
-// RegisterWireTypes registers the phase payloads for the TCP transport.
+// RegisterWireTypes registers the phase payloads for the TCP transport —
+// both their gob form and the compact binary frames the default
+// WireBinary format uses for the hot batch messages.
 func RegisterWireTypes() {
+	registerBinaryCodecs()
 	mpi.RegisterType(WorkerMsg{})
 	mpi.RegisterType(MasterMsg{})
 	mpi.RegisterType([]bool{})

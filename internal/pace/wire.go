@@ -1,0 +1,239 @@
+package pace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"profam/internal/mpi"
+)
+
+// Binary wire codec for the hot master–worker payloads.
+//
+// Gob spends ~13 bytes per PairItem on field numbers and per-struct
+// framing; a phase ships tens of thousands of them. The binary frames
+// below delta-encode consecutive rows with zigzag varints — pair streams
+// are bursts of near-monotone ids and nearby offsets, so most deltas fit
+// one byte — and ride through the TCP transport's rawFrame envelope (see
+// mpi/codec.go). The encoding is pure layout: decoded messages are
+// byte-for-byte the structs gob would have delivered, so -wire can never
+// change results, only mpi_bytes_sent{transport=tcp}.
+
+// Wire kinds identifying the frame payloads (mpi.BinaryPayload).
+const (
+	wireKindWorkerMsg byte = 'W'
+	wireKindMasterMsg byte = 'M'
+)
+
+func appendZig(buf []byte, v int64) []byte {
+	return binary.AppendUvarint(buf, uint64((v<<1)^(v>>63)))
+}
+
+func appendPairs(buf []byte, ps []PairItem) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ps)))
+	var prev PairItem
+	for _, p := range ps {
+		buf = appendZig(buf, int64(p.A-prev.A))
+		buf = appendZig(buf, int64(p.B-prev.B))
+		buf = appendZig(buf, int64(p.OffA-prev.OffA))
+		buf = appendZig(buf, int64(p.OffB-prev.OffB))
+		buf = appendZig(buf, int64(p.Len-prev.Len))
+		prev = p
+	}
+	return buf
+}
+
+// wireReader is a bounds-checked cursor over a binary frame body.
+type wireReader struct {
+	b []byte
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("pace: truncated varint in binary frame")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *wireReader) zig() (int64, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+func (r *wireReader) octet() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, fmt.Errorf("pace: truncated binary frame")
+	}
+	c := r.b[0]
+	r.b = r.b[1:]
+	return c, nil
+}
+
+// count reads a length prefix and sanity-checks it against the bytes
+// remaining (each element needs at least minBytes), so a corrupt frame
+// cannot provoke a huge allocation.
+func (r *wireReader) count(minBytes int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.b)/minBytes)+1 {
+		return 0, fmt.Errorf("pace: binary frame claims %d elements in %d bytes", v, len(r.b))
+	}
+	return int(v), nil
+}
+
+func (r *wireReader) pairs() ([]PairItem, error) {
+	n, err := r.count(5)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]PairItem, n)
+	var prev PairItem
+	for i := range out {
+		var d [5]int64
+		for j := range d {
+			if d[j], err = r.zig(); err != nil {
+				return nil, err
+			}
+		}
+		prev = PairItem{
+			A: prev.A + int32(d[0]), B: prev.B + int32(d[1]),
+			OffA: prev.OffA + int32(d[2]), OffB: prev.OffB + int32(d[3]),
+			Len: prev.Len + int32(d[4]),
+		}
+		out[i] = prev
+	}
+	return out, nil
+}
+
+// WireKind implements mpi.BinaryPayload.
+func (m WorkerMsg) WireKind() byte { return wireKindWorkerMsg }
+
+// AppendBinary implements mpi.BinaryPayload.
+func (m WorkerMsg) AppendBinary(buf []byte) []byte {
+	var flags byte
+	if m.Exhausted {
+		flags = 1
+	}
+	if m.Request {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = appendPairs(buf, m.Pairs)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Results)))
+	var prevA, prevB int32
+	for _, r := range m.Results {
+		buf = appendZig(buf, int64(r.A-prevA))
+		buf = appendZig(buf, int64(r.B-prevB))
+		prevA, prevB = r.A, r.B
+		var f byte
+		if r.OK {
+			f = 1
+		}
+		f |= byte(r.Which) << 1
+		buf = append(buf, f)
+		buf = appendZig(buf, int64(r.Stage))
+		buf = binary.AppendUvarint(buf, uint64(r.Cells))
+		buf = binary.AppendUvarint(buf, uint64(r.FullCells))
+	}
+	return buf
+}
+
+func decodeWorkerMsg(body []byte) (any, error) {
+	r := wireReader{b: body}
+	flags, err := r.octet()
+	if err != nil {
+		return nil, err
+	}
+	var m WorkerMsg
+	m.Exhausted = flags&1 != 0
+	m.Request = flags&2 != 0
+	if m.Pairs, err = r.pairs(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(5)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.Results = make([]AlignOutcome, n)
+		var prevA, prevB int32
+		for i := range m.Results {
+			da, err := r.zig()
+			if err != nil {
+				return nil, err
+			}
+			db, err := r.zig()
+			if err != nil {
+				return nil, err
+			}
+			prevA += int32(da)
+			prevB += int32(db)
+			f, err := r.octet()
+			if err != nil {
+				return nil, err
+			}
+			stage, err := r.zig()
+			if err != nil {
+				return nil, err
+			}
+			cells, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			full, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.Results[i] = AlignOutcome{
+				A: prevA, B: prevB,
+				OK: f&1 != 0, Which: int8(f >> 1), Stage: int8(stage),
+				Cells: int64(cells), FullCells: int64(full),
+			}
+		}
+	}
+	return m, nil
+}
+
+// WireKind implements mpi.BinaryPayload.
+func (m MasterMsg) WireKind() byte { return wireKindMasterMsg }
+
+// AppendBinary implements mpi.BinaryPayload.
+func (m MasterMsg) AppendBinary(buf []byte) []byte {
+	var flags byte
+	if m.Done {
+		flags = 1
+	}
+	buf = append(buf, flags)
+	return appendPairs(buf, m.Tasks)
+}
+
+func decodeMasterMsg(body []byte) (any, error) {
+	r := wireReader{b: body}
+	flags, err := r.octet()
+	if err != nil {
+		return nil, err
+	}
+	var m MasterMsg
+	m.Done = flags&1 != 0
+	if m.Tasks, err = r.pairs(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// registerBinaryCodecs hooks the compact frames into the TCP transport;
+// called from RegisterWireTypes so every mesh participant that can gob
+// these payloads can also decode their binary form.
+func registerBinaryCodecs() {
+	mpi.RegisterBinaryDecoder(wireKindWorkerMsg, decodeWorkerMsg)
+	mpi.RegisterBinaryDecoder(wireKindMasterMsg, decodeMasterMsg)
+}

@@ -1,0 +1,160 @@
+package pace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"profam/internal/mpi"
+)
+
+func randomWorkerMsg(rng *rand.Rand) WorkerMsg {
+	var m WorkerMsg
+	m.Exhausted = rng.Intn(2) == 0
+	for i, n := 0, rng.Intn(40); i < n; i++ {
+		m.Pairs = append(m.Pairs, PairItem{
+			A: rng.Int31n(1 << 20), B: rng.Int31n(1 << 20),
+			OffA: rng.Int31n(4096), OffB: rng.Int31n(4096),
+			Len: rng.Int31n(512),
+		})
+	}
+	for i, n := 0, rng.Intn(40); i < n; i++ {
+		m.Results = append(m.Results, AlignOutcome{
+			A: rng.Int31n(1 << 20), B: rng.Int31n(1 << 20),
+			OK: rng.Intn(2) == 0, Which: int8(rng.Intn(2)), Stage: int8(rng.Intn(4)),
+			Cells: rng.Int63n(1 << 30), FullCells: rng.Int63n(1 << 30),
+		})
+	}
+	return m
+}
+
+// TestWireRoundTrip: the binary frames must decode back to exactly the
+// structs that went in — the codec is pure layout.
+func TestWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		w := randomWorkerMsg(rng)
+		got, err := decodeWorkerMsg(w.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got.(WorkerMsg), w) {
+			t.Fatalf("trial %d: WorkerMsg round trip mismatch:\nin:  %+v\nout: %+v", trial, w, got)
+		}
+
+		m := MasterMsg{Tasks: randomWorkerMsg(rng).Pairs, Done: rng.Intn(2) == 0}
+		gotM, err := decodeMasterMsg(m.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(gotM.(MasterMsg), m) {
+			t.Fatalf("trial %d: MasterMsg round trip mismatch:\nin:  %+v\nout: %+v", trial, m, gotM)
+		}
+	}
+}
+
+// TestWireTruncatedFrames: every truncation of a valid frame must error
+// out, never panic or fabricate data.
+func TestWireTruncatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := randomWorkerMsg(rng)
+	if len(w.Pairs) == 0 {
+		w.Pairs = []PairItem{{A: 1, B: 2, Len: 3}}
+	}
+	full := w.AppendBinary(nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := decodeWorkerMsg(full[:cut]); err == nil {
+			// A truncation can only be silently valid if it still parses
+			// to the same message, which a strict prefix never can here.
+			t.Fatalf("truncation to %d of %d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestWireCorruptCountRejected: a frame claiming an absurd element count
+// must be rejected before any large allocation happens.
+func TestWireCorruptCountRejected(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 0) // flags
+	// Pairs count: claim 2^40 elements in a 3-byte body.
+	buf = append(buf, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20)
+	buf = append(buf, 1, 2, 3)
+	if _, err := decodeWorkerMsg(buf); err == nil {
+		t.Fatal("absurd element count accepted")
+	}
+}
+
+// realisticWorkerMsg models what the phases actually ship: pair streams
+// from the match-length-ordered generator are near-monotone in (A, B)
+// with small offsets, and result batches come back in task order. This
+// is the traffic shape the delta encoding is designed for.
+func realisticWorkerMsg(rng *rand.Rand, batch int) WorkerMsg {
+	var m WorkerMsg
+	a := int32(rng.Intn(50))
+	for i := 0; i < batch; i++ {
+		a += int32(rng.Intn(3))
+		m.Pairs = append(m.Pairs, PairItem{
+			A: a, B: a + 1 + int32(rng.Intn(60)),
+			OffA: int32(rng.Intn(300)), OffB: int32(rng.Intn(300)),
+			Len: 8 + int32(rng.Intn(50)),
+		})
+	}
+	a = int32(rng.Intn(50))
+	for i := 0; i < batch; i++ {
+		a += int32(rng.Intn(3))
+		m.Results = append(m.Results, AlignOutcome{
+			A: a, B: a + 1 + int32(rng.Intn(60)),
+			OK: rng.Intn(3) > 0, Which: int8(rng.Intn(2)), Stage: int8(1 + rng.Intn(3)),
+			Cells: int64(rng.Intn(20000)), FullCells: int64(10000 + rng.Intn(90000)),
+		})
+	}
+	return m
+}
+
+// TestBinaryWireBytesReduction: on realistic batch traffic the compact
+// frames must at least halve mpi_bytes_sent{transport=tcp} relative to
+// gob — the ISSUE's codec acceptance bar.
+func TestBinaryWireBytesReduction(t *testing.T) {
+	RegisterWireTypes()
+	defer mpi.SetWireFormat(mpi.WireBinary)
+
+	rng := rand.New(rand.NewSource(11))
+	batches := make([]WorkerMsg, 24)
+	for i := range batches {
+		batches[i] = realisticWorkerMsg(rng, 16+rng.Intn(48))
+	}
+
+	measure := func(f mpi.WireFormat, port int) int64 {
+		mpi.SetWireFormat(f)
+		var sent int64
+		err := mpi.RunTCP(2, port, func(c *mpi.Comm) {
+			if c.Rank() == 1 {
+				for _, b := range batches {
+					c.Send(0, 10, b)
+					m := c.Recv(0, 11).Data.(MasterMsg)
+					if len(m.Tasks) != len(b.Pairs) {
+						panic("echo mismatch")
+					}
+				}
+				sent = c.Stats().BytesSent
+				return
+			}
+			for range batches {
+				m := c.Recv(1, 10).Data.(WorkerMsg)
+				c.Send(1, 11, MasterMsg{Tasks: m.Pairs})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sent
+	}
+
+	gob := measure(mpi.WireGob, 43400)
+	bin := measure(mpi.WireBinary, 43408)
+	ratio := float64(gob) / float64(bin)
+	t.Logf("worker->master wire bytes: gob=%d binary=%d (%.2fx)", gob, bin, ratio)
+	if ratio < 2 {
+		t.Errorf("binary codec reduces wire bytes only %.2fx, want >= 2x", ratio)
+	}
+}

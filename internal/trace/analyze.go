@@ -26,14 +26,20 @@ type PhaseStat struct {
 }
 
 // RankBreakdown decomposes one rank's makespan into busy (inside a phase
-// span), comm (blocked in recv) and idle (neither) time.
+// span), comm (blocked in recv) and idle (neither) time. TaskWait is the
+// subset of a worker's life spent waiting for the master's next task
+// batch ("task-wait" spans) — the overlap win of the prefetching
+// protocol shows up as this column collapsing. Task-wait spans enclose
+// the recv they block on, so they are kept out of Comm rather than
+// double-counted.
 type RankBreakdown struct {
-	Rank    int     `json:"rank"`
-	Busy    float64 `json:"busy_seconds"`
-	Comm    float64 `json:"comm_seconds"`
-	Idle    float64 `json:"idle_seconds"`
-	Events  int     `json:"events"`
-	Dropped int64   `json:"dropped"`
+	Rank     int     `json:"rank"`
+	Busy     float64 `json:"busy_seconds"`
+	Comm     float64 `json:"comm_seconds"`
+	TaskWait float64 `json:"task_wait_seconds"`
+	Idle     float64 `json:"idle_seconds"`
+	Events   int     `json:"events"`
+	Dropped  int64   `json:"dropped"`
 }
 
 // Analysis is the derived view of a Timeline: the per-rank breakdown,
@@ -77,7 +83,7 @@ func Analyze(tl *Timeline) *Analysis {
 	phases := map[string]*acc{}
 	for _, rt := range tl.Ranks {
 		var phaseIv []interval
-		var comm float64
+		var comm, taskWait float64
 		for _, e := range rt.Events {
 			if !seen || e.Ts < t0 {
 				t0 = e.Ts
@@ -101,15 +107,20 @@ func Analyze(tl *Timeline) *Analysis {
 				p.sum += e.Dur
 				p.perRank[rt.Rank] += e.Dur
 			case CatComm:
-				comm += e.Dur
+				if e.Name == "task-wait" {
+					taskWait += e.Dur
+				} else {
+					comm += e.Dur
+				}
 			}
 		}
 		a.Ranks = append(a.Ranks, RankBreakdown{
-			Rank:    rt.Rank,
-			Busy:    unionMeasure(phaseIv),
-			Comm:    comm,
-			Events:  len(rt.Events),
-			Dropped: rt.Dropped,
+			Rank:     rt.Rank,
+			Busy:     unionMeasure(phaseIv),
+			Comm:     comm,
+			TaskWait: taskWait,
+			Events:   len(rt.Events),
+			Dropped:  rt.Dropped,
 		})
 	}
 	if seen {
@@ -239,13 +250,13 @@ func (a *Analysis) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	if err := p("== per-rank breakdown (s) ==\n%-6s %10s %10s %10s %8s %8s\n",
-		"rank", "busy", "comm", "idle", "events", "dropped"); err != nil {
+	if err := p("== per-rank breakdown (s) ==\n%-6s %10s %10s %10s %10s %8s %8s\n",
+		"rank", "busy", "comm", "taskwait", "idle", "events", "dropped"); err != nil {
 		return err
 	}
 	for _, rb := range a.Ranks {
-		if err := p("%-6d %10.4f %10.4f %10.4f %8d %8d\n",
-			rb.Rank, rb.Busy, rb.Comm, rb.Idle, rb.Events, rb.Dropped); err != nil {
+		if err := p("%-6d %10.4f %10.4f %10.4f %10.4f %8d %8d\n",
+			rb.Rank, rb.Busy, rb.Comm, rb.TaskWait, rb.Idle, rb.Events, rb.Dropped); err != nil {
 			return err
 		}
 	}

@@ -119,6 +119,16 @@ type Config struct {
 	// memory profile).
 	UseESA bool
 
+	// Lockstep reverts the master–worker phases to the synchronous
+	// round-robin protocol (master serves ranks 1..p-1 in a fixed cycle,
+	// workers block on each reply before aligning). The default is the
+	// overlapped protocol: arrival-order service, worker prefetch and an
+	// adaptive task quota. Lockstep is the reference arm for the
+	// order-invariance tests and the baseline for measuring the overlap
+	// win; at p > 2 it is also the only protocol whose service order is
+	// content-deterministic, which some metric-identity tests rely on.
+	Lockstep bool
+
 	// ExactAlign disables the seed-anchored alignment cascade everywhere
 	// (RR, CCD and B_d edge discovery), running every promising pair
 	// through the full-matrix DP predicates. Families and canonical
@@ -204,6 +214,7 @@ func (c Config) paceConfig() pace.Config {
 		Contain:    align.ContainParams{MinIdentity: c.ContainIdentity, MinCoverage: c.ContainCoverage},
 		Overlap:    align.OverlapParams{MinSimilarity: c.OverlapSimilarity, MinLongCoverage: c.OverlapCoverage},
 		ExactAlign: c.ExactAlign,
+		Lockstep:   c.Lockstep,
 	}
 }
 
