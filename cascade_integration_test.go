@@ -20,6 +20,7 @@ func stripAlignCost(rep *metrics.Report) {
 		for k := range m {
 			if strings.HasPrefix(k, "pace_align_cells") ||
 				strings.HasPrefix(k, "pace_cascade_") ||
+				strings.HasPrefix(k, "pace_kernel_") ||
 				strings.HasPrefix(k, "bgg_align_cells") {
 				delete(m, k)
 			}
@@ -138,5 +139,60 @@ func TestCascadeCellsReduction(t *testing.T) {
 	}
 	if spanC >= spanE {
 		t.Errorf("virtual makespan did not improve: cascade %.4fs vs exact %.4fs", spanC, spanE)
+	}
+}
+
+// TestKernelDeterminism: the word-parallel kernels (-kernels=auto, the
+// default) must produce byte-identical families, keep masks, components
+// and canonical metrics to -kernels=scalar and to -exact-align, across
+// rank counts and thread counts. This is the kernel layer's contract:
+// the bit-parallel and striped stages only take certified shortcuts
+// inside the cascade, so nothing downstream can tell which kernel ran.
+func TestKernelDeterminism(t *testing.T) {
+	set, _ := integrationSet()
+	base := profam.Config{Psi: 6, MinComponentSize: 3, MinFamilySize: 3, Lockstep: true}
+	for _, p := range []int{1, 2, 4} {
+		for _, threads := range []int{1, 4} {
+			t.Run(fmt.Sprintf("ranks=%d/threads=%d", p, threads), func(t *testing.T) {
+				auto := base
+				auto.ThreadsPerRank = threads
+				scalar := auto
+				scalar.ScalarKernels = true
+				exact := auto
+				exact.ExactAlign = true
+
+				resA, _, err := profam.RunSet(set, p, true, auto)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resS, _, err := profam.RunSet(set, p, true, scalar)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resE, _, err := profam.RunSet(set, p, true, exact)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, ref := range []struct {
+					name string
+					res  *profam.Result
+				}{{"scalar", resS}, {"exact-align", resE}} {
+					if fmt.Sprint(resA.Families) != fmt.Sprint(ref.res.Families) {
+						t.Fatalf("kernels changed the families vs %s", ref.name)
+					}
+					if fmt.Sprint(resA.Keep) != fmt.Sprint(ref.res.Keep) {
+						t.Fatalf("kernels changed the keep mask vs %s", ref.name)
+					}
+					if fmt.Sprint(resA.Components) != fmt.Sprint(ref.res.Components) {
+						t.Fatalf("kernels changed the components vs %s", ref.name)
+					}
+				}
+				ja := canonicalJSON(t, resA.Metrics)
+				js := canonicalJSON(t, resS.Metrics)
+				if ja != js {
+					t.Errorf("canonical metrics differ between auto and scalar kernels:\nauto:\n%s\nscalar:\n%s", ja, js)
+				}
+			})
+		}
 	}
 }

@@ -61,8 +61,16 @@ type fileFormat struct {
 	SimTaskWaitShareOverlap  float64 `json:"sim_task_wait_share_overlap,omitempty"`
 	// TCPWireBytesRatio is gob/binary worker→master bytes on realistic
 	// batch traffic over loopback TCP (work checksum, not timing).
-	TCPWireBytesRatio float64            `json:"tcp_wire_bytes_ratio,omitempty"`
-	Benchmarks        map[string]float64 `json:"benchmarks_ns_per_op"`
+	TCPWireBytesRatio float64 `json:"tcp_wire_bytes_ratio,omitempty"`
+	// KernelSpeedup is scalar/striped ns/op on the local-score pair batch
+	// (AlignLocalScalar vs AlignStriped at threads=1) — the striped int16
+	// kernel's isolated win over the int32 scalar DP. CascadeKernelSpeedup
+	// is the same ratio on the full containment cascade (AlignCascadeScalar
+	// vs AlignCascade at threads=1), where the bit-parallel reject bound
+	// and profile reuse also contribute.
+	KernelSpeedup        float64            `json:"kernel_speedup,omitempty"`
+	CascadeKernelSpeedup float64            `json:"cascade_kernel_speedup,omitempty"`
+	Benchmarks           map[string]float64 `json:"benchmarks_ns_per_op"`
 }
 
 func main() {
@@ -172,6 +180,31 @@ func main() {
 			}
 		})
 	}
+	// Kernel micro-benchmarks at one thread: the word-parallel kernels
+	// against the int32 scalar reference on the same pair batches,
+	// isolating the per-kernel win from the thread ladder. The cascade
+	// pair keeps the production mix visible (bit-parallel reject bound +
+	// striped rescore + profile reuse vs -kernels=scalar).
+	record("AlignStriped/threads=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.AlignStripedKernel(alignSet, pairs, 1)
+		}
+	})
+	record("AlignLocalScalar/threads=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.AlignLocalScalarKernel(alignSet, pairs, 1)
+		}
+	})
+	record("AlignBitParallel/threads=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.AlignBitParallelKernel(alignSet, pairs, 1)
+		}
+	})
+	record("AlignCascadeScalar/threads=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			experiments.AlignCascadeKernelMode(alignSet, seedPairs, 1, true)
+		}
+	})
 	record("PipelineExact/threads=1", func(b *testing.B) {
 		cfg := experiments.PipelineConfig()
 		cfg.ThreadsPerRank = 1
@@ -197,16 +230,19 @@ func main() {
 
 	// The TCP kernels each grab a fresh port block per iteration so
 	// lingering TIME_WAIT sockets from the previous mesh can't collide.
-	// The window recycles after 45 blocks: listeners rebind closed ports
-	// safely (SO_REUSEADDR), whereas marching the counter ever deeper
-	// into the kernel's ephemeral range eventually lands on a port an
-	// outbound connection owns and the mesh wedges on dial.
-	tcpPort := 43700
+	// The window sits below the kernel's ephemeral port range
+	// (net.ipv4.ip_local_port_range, 32768+ by default): a prior mesh's
+	// *outbound* sockets pick ephemeral source ports, and with an
+	// overlapping window one of them can own the exact port the next
+	// mesh wants to Listen on, failing the bind and wedging the bench.
+	// The window recycles after 45 blocks; listeners rebind closed
+	// ports safely (SO_REUSEADDR).
+	tcpPort := 23700
 	nextTCPPorts := func() int {
 		p := tcpPort
 		tcpPort += 16
-		if tcpPort >= 44420 {
-			tcpPort = 43700
+		if tcpPort >= 24420 {
+			tcpPort = 23700
 		}
 		return p
 	}
@@ -252,6 +288,18 @@ func main() {
 		CellsEliminatedRatio: cellsRatio,
 		TraceOverheadRatio:   traceOverhead,
 		Benchmarks:           results,
+	}
+	if striped, ok := results["AlignStriped/threads=1"]; ok && striped > 0 {
+		if scalar, ok := results["AlignLocalScalar/threads=1"]; ok {
+			payload.KernelSpeedup = scalar / striped
+			log.Printf("striped kernel speedup over scalar local DP: %.2fx", payload.KernelSpeedup)
+		}
+	}
+	if auto, ok := results["AlignCascade/threads=1"]; ok && auto > 0 {
+		if scalar, ok := results["AlignCascadeScalar/threads=1"]; ok {
+			payload.CascadeKernelSpeedup = scalar / auto
+			log.Printf("cascade kernel speedup over -kernels=scalar: %.2fx", payload.CascadeKernelSpeedup)
+		}
 	}
 	// Protocol-comparison scalars: deterministic simulation and a byte
 	// count, so they need no noise guard.

@@ -134,6 +134,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"goroutines per rank for alignment/index/component work (0 = auto: max(1, NumCPU/p); simulated runs default to 1)")
 	fs.BoolVar(&cfg.ExactAlign, "exact-align", false,
 		"disable the seed-anchored alignment cascade and run full-matrix DP on every promising pair (identical output, more work)")
+	kernels := fs.String("kernels", "auto",
+		"alignment kernel selection: auto (bit-parallel and striped int16 kernels with certified fallthrough) or scalar (int32 reference kernels only; identical output, more work)")
 	fs.BoolVar(&cfg.Lockstep, "lockstep", false,
 		"revert the master-worker phases to the synchronous round-robin protocol (no arrival-order service, no worker prefetch) — the reference arm for overlap measurements")
 	wire := fs.String("wire", "binary", "TCP payload encoding for hot master-worker messages: binary (compact delta/varint frames) or gob")
@@ -165,6 +167,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		mpi.SetWireFormat(mpi.WireGob)
 	default:
 		return fmt.Errorf("unknown -wire %q (want binary or gob)", *wire)
+	}
+	switch *kernels {
+	case "auto":
+	case "scalar":
+		cfg.ScalarKernels = true
+	default:
+		return fmt.Errorf("unknown -kernels %q (want auto or scalar)", *kernels)
 	}
 	if *traceOut != "" {
 		if *traceCap <= 0 {

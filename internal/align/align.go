@@ -123,15 +123,39 @@ const (
 // trace byte layout: bits 0-1 predecessor of M, 2-3 of X, 4-5 of Y.
 func packTrace(pm, px, py uint8) byte { return pm | px<<2 | py<<4 }
 
+// KernelMode selects which alignment kernels the cascade may use.
+type KernelMode uint8
+
+const (
+	// KernelAuto (the zero value) enables the word-parallel kernels:
+	// bit-parallel certified rejects and striped int16 scoring with
+	// scalar fallback on saturation. Verdicts are identical to
+	// KernelScalar — only the work per verdict differs.
+	KernelAuto KernelMode = iota
+	// KernelScalar restricts the cascade to the int32 scalar kernels.
+	KernelScalar
+)
+
 // Aligner computes alignments, reusing internal scratch buffers across
 // calls. It is not safe for concurrent use; create one per goroutine.
 type Aligner struct {
 	sc *Scoring
 
+	// Kernels selects the kernel layer the cascade stages may use.
+	// The zero value enables the word-parallel kernels.
+	Kernels KernelMode
+
 	// two rolling rows of scores per state
 	m0, m1, x0, x1, y0, y1 []int32
 	trace                  []byte // (lenA+1) * (lenB+1); allocated lazily by Align only
 	stride                 int
+
+	// word-parallel kernel scratch: the bit-vector vertical deltas, the
+	// striped int16 column state, and the profile built when a caller
+	// supplies none.
+	pv, mv        []uint64
+	m16, x16, y16 []int16
+	prof          Profile
 
 	// cached max(0, largest substitution score), for cascade bounds
 	maxSub    int32
@@ -139,8 +163,12 @@ type Aligner struct {
 
 	// Stats counts DP cells computed across the Aligner's lifetime; the
 	// pipeline uses it as the machine-independent work measure that the
-	// virtual-time scheduler charges for.
-	Cells int64
+	// virtual-time scheduler charges for. CellsBitvec and CellsStriped
+	// are the subsets of Cells computed by the bit-parallel kernel (one
+	// cell per 64-row word advanced) and the striped int16 kernels.
+	Cells        int64
+	CellsBitvec  int64
+	CellsStriped int64
 }
 
 // NewAligner returns an Aligner using the given scoring scheme

@@ -82,6 +82,9 @@ func TestScoreKernelsLazyTrace(t *testing.T) {
 	al.LocalScoreBandedAnchored(a, b, 5, 8)
 	al.FitScoreCertified(a, b, SeedMatch{PosA: 3, PosB: 3, Len: 10})
 	al.fitMatchesPossible(a, b, -10, 30, 140)
+	al.FitEditDistance(a, b)
+	al.LocalScoreStriped(a, b)
+	al.FitScoreStriped(a, b)
 	if cap(al.trace) != 0 {
 		t.Errorf("score-only kernels allocated the trace matrix (cap %d), want lazy allocation", cap(al.trace))
 	}
@@ -91,6 +94,40 @@ func TestScoreKernelsLazyTrace(t *testing.T) {
 	al.Align(a, b, Local)
 	if cap(al.trace) == 0 {
 		t.Error("Align must allocate the trace for traceback")
+	}
+}
+
+// TestCascadeWarmAllocs: the cascade's certified kernels — including the
+// FitScoreCertified band-doubling path, which runs fitScoreBand several
+// times per pair, and every word-parallel kernel with its scratch
+// profile — must be allocation-free once the aligner's buffers are warm.
+// This is what makes profile reuse across a worker batch pay: the only
+// per-pair memory traffic is the DP itself.
+func TestCascadeWarmAllocs(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	rng := rand.New(rand.NewSource(99))
+	// len(b) ≫ len(a): the initial band does not cover the matrix, so
+	// FitScoreCertified exercises the doubling loop, not the
+	// full-coverage shortcut.
+	a, b := randomResidues(rng, 150), randomResidues(rng, 400)
+	seed := SeedMatch{PosA: 3, PosB: 3, Len: 10}
+	warm := map[string]func(){
+		"FitScoreCertified": func() { al.FitScoreCertified(a, b, seed) },
+		"FitEditDistance":   func() { al.FitEditDistance(a, b) },
+		"LocalScoreStriped": func() { al.LocalScoreStriped(a, b) },
+		"FitScoreStriped":   func() { al.FitScoreStriped(a, b) },
+	}
+	for name, fn := range warm {
+		fn() // warm the scratch buffers
+		if n := testing.AllocsPerRun(50, fn); n > 0 {
+			t.Errorf("warm %s allocates %.1f objects per call, want 0", name, n)
+		}
+	}
+
+	var p Profile
+	p.Build(al.Scoring(), a)
+	if n := testing.AllocsPerRun(50, func() { p.Build(al.Scoring(), a) }); n > 0 {
+		t.Errorf("warm Profile.Build allocates %.1f objects per call, want 0", n)
 	}
 }
 

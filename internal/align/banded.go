@@ -59,9 +59,16 @@ func (al *Aligner) LocalScoreBandedAnchored(a, b []byte, diag, band int) int32 {
 		row := al.sc.Sub[a[i-1]-'A']
 		f := negInf
 		diagH := h[lo-1]
+		// The horizontal carry must read the CURRENT row's left
+		// neighbour. At j == lo that neighbour is out of band (or the
+		// j == 0 border) and carries the fresh-start floor 0; reading
+		// the stale h[lo-1] there would leak the previous row's H into
+		// a diagonal "gap" move no real alignment has, inflating the
+		// score above the true local optimum.
+		hLeft := int32(0)
 		for j := lo; j <= hi; j++ {
 			e[j] = max32(h[j]-open, e[j]-ext)
-			f = max32(h[j-1]-open, f-ext)
+			f = max32(hLeft-open, f-ext)
 			hv := diagH + int32(row[b[j-1]-'A'])
 			if e[j] > hv {
 				hv = e[j]
@@ -74,6 +81,7 @@ func (al *Aligner) LocalScoreBandedAnchored(a, b []byte, diag, band int) int32 {
 			}
 			diagH = h[j]
 			h[j] = hv
+			hLeft = hv
 			if hv > best {
 				best = hv
 			}

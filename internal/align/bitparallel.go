@@ -1,0 +1,124 @@
+package align
+
+import "math"
+
+// This file implements the Myers bit-parallel edit-distance kernel in
+// Hyyrö's blocked formulation: 64 DP cells advance per handful of word
+// operations, with a carry chain between 64-row blocks for queries of
+// any length. The kernel computes the exact semi-global ("fit")
+// unit-cost edit distance — the minimum Levenshtein distance between
+// the whole query and any substring of the text — which the cascade
+// turns into a certified Definition-1 reject (StageBitvec):
+//
+// Any accepting fit alignment of query a (|a| = n) at identity
+// threshold t satisfies Matches ≥ t·Cols with Cols = n + #D and
+// #M + #I = n, so its unit edit cost
+//
+//	e = #mismatch + #I + #D = n − Matches + #D ≤ (1−t)·(n + #D),
+//
+// and Matches ≤ n forces #D ≤ n·(1−t)/t, giving e ≤ (1−t)·n/t. The
+// exact fit edit distance lower-bounds e, so exceeding ⌊(1−t)·n/t⌋
+// proves no accepting alignment exists. The threshold uses the same
+// slack-loosened t as every other cascade bound, so rounding can only
+// make the stage fall through, never reject a true accept.
+
+// fitEditThreshold returns the largest unit-cost edit distance any
+// accepting Definition-1 fit alignment of an n-residue query can have
+// under (slack-loosened) identity threshold minID, or −1 when the bound
+// cannot reject anything (the fit edit distance never exceeds n).
+func fitEditThreshold(n int, minID float64) int {
+	if minID <= 0 {
+		return -1
+	}
+	t := (1 - minID) / minID * float64(n)
+	if t >= float64(n) {
+		return -1
+	}
+	return int(math.Floor(t))
+}
+
+// FitEditDistance returns the exact semi-global ("fit") unit-cost edit
+// distance of query a against text b: the minimum, over all substrings
+// s of b (including the empty one), of the Levenshtein distance between
+// a and s. Leading and trailing residues of b are free, mirroring the
+// free prefix/suffix of the Fit alignment mode.
+func (al *Aligner) FitEditDistance(a, b []byte) int {
+	al.prof.buildBits(al.sc, a)
+	return al.FitEditDistanceProf(&al.prof, b)
+}
+
+// FitEditDistanceProf is FitEditDistance against a prebuilt profile of
+// the query. Work is charged to Cells (and CellsBitvec) as one cell per
+// 64-row word advanced — the honest machine-independent measure of the
+// word operations performed.
+func (al *Aligner) FitEditDistanceProf(p *Profile, b []byte) int {
+	n, blocks, m := p.n, p.blocks, len(b)
+	if n == 0 {
+		return 0
+	}
+	if m == 0 {
+		return n
+	}
+	if cap(al.pv) < blocks {
+		c := geomCap(blocks, cap(al.pv))
+		al.pv = make([]uint64, c)
+		al.mv = make([]uint64, c)
+	}
+	pv, mv := al.pv[:blocks], al.mv[:blocks]
+	for k := range pv {
+		pv[k] = ^uint64(0)
+		mv[k] = 0
+	}
+	al.Cells += int64(m) * int64(blocks)
+	al.CellsBitvec += int64(m) * int64(blocks)
+
+	lastBit := uint(n-1) & 63
+	// score tracks D[n][j] down the last query row; D[n][0] = n, and the
+	// semi-global answer is the minimum over all text positions.
+	best, score := n, n
+	for j := 0; j < m; j++ {
+		eq := p.peq[int(b[j]-'A')*blocks:]
+		hin := 0 // row 0 stays 0: free text prefix
+		for k := 0; k < blocks; k++ {
+			eqk := eq[k]
+			pvk, mvk := pv[k], mv[k]
+			xv := eqk | mvk
+			if hin < 0 {
+				eqk |= 1
+			}
+			xh := (((eqk & pvk) + pvk) ^ pvk) | eqk
+			ph := mvk | ^(xh | pvk)
+			mh := pvk & xh
+			// The horizontal delta leaves a full block at bit 63; the
+			// partial last block reads it at the query's true last row.
+			// Bits above lastBit are padding: their match masks are zero
+			// and the carry chain only propagates upward, so they never
+			// corrupt the rows below.
+			hb := uint64(1) << 63
+			if k == blocks-1 {
+				hb = uint64(1) << lastBit
+			}
+			hout := 0
+			if ph&hb != 0 {
+				hout = 1
+			} else if mh&hb != 0 {
+				hout = -1
+			}
+			ph <<= 1
+			mh <<= 1
+			if hin < 0 {
+				mh |= 1
+			} else if hin > 0 {
+				ph |= 1
+			}
+			pv[k] = mh | ^(xv | ph)
+			mv[k] = ph & xv
+			hin = hout
+		}
+		score += hin
+		if score < best {
+			best = score
+		}
+	}
+	return best
+}

@@ -1,0 +1,118 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refFitEditDistance is the O(n·m) scalar reference for the bit-parallel
+// kernel: semi-global unit-cost edit distance with free text prefix and
+// suffix.
+func refFitEditDistance(a, b []byte) int {
+	n, m := len(a), len(b)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	// Row 0 is free: the alignment may start after any text prefix.
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			c := prev[j-1]
+			if a[i-1] != b[j-1] {
+				c++
+			}
+			if v := prev[j] + 1; v < c {
+				c = v
+			}
+			if v := cur[j-1] + 1; v < c {
+				c = v
+			}
+			cur[j] = c
+		}
+		prev, cur = cur, prev
+	}
+	best := prev[0]
+	for j := 1; j <= m; j++ {
+		if prev[j] < best {
+			best = prev[j]
+		}
+	}
+	return best
+}
+
+func TestFitEditDistanceBasics(t *testing.T) {
+	al := NewAligner(nil)
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "ACDEF", 0},
+		{"ACD", "", 3},
+		{"ACD", "ACD", 0},
+		{"ACD", "WWACDWW", 0},
+		{"ACD", "WWAXDWW", 1},
+		{"ACD", "WWWW", 3},
+		{"AAAA", "AA", 2},
+		{"KWVTF", "KWTF", 1},
+	}
+	for _, c := range cases {
+		if got := al.FitEditDistance([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("FitEditDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestFitEditDistanceMatchesReference drives the blocked kernel across
+// the block-boundary lengths (≤64, 64, 65, multi-block) against the
+// scalar reference.
+func TestFitEditDistanceMatchesReference(t *testing.T) {
+	al := NewAligner(nil)
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{1, 3, 17, 63, 64, 65, 100, 127, 128, 129, 200, 300}
+	for trial := 0; trial < 300; trial++ {
+		n := lengths[rng.Intn(len(lengths))]
+		m := lengths[rng.Intn(len(lengths))]
+		a := randSeq(rng, n)
+		var b []byte
+		switch trial % 3 {
+		case 0:
+			b = randSeq(rng, m)
+		case 1:
+			b = mutate(rng, a, 0.1)
+		default:
+			// Embed a mutated copy of a inside random flanks.
+			core := mutate(rng, a, 0.05)
+			b = append(append(randSeq(rng, rng.Intn(40)), core...), randSeq(rng, rng.Intn(40))...)
+		}
+		want := refFitEditDistance(a, b)
+		if got := al.FitEditDistance(a, b); got != want {
+			t.Fatalf("trial %d: FitEditDistance(|a|=%d, |b|=%d) = %d, want %d", trial, len(a), len(b), got, want)
+		}
+	}
+}
+
+// TestFitEditDistanceCharges: the kernel must charge its word operations
+// to Cells and CellsBitvec.
+func TestFitEditDistanceCharges(t *testing.T) {
+	al := NewAligner(nil)
+	a, b := randSeq(rand.New(rand.NewSource(1)), 130), randSeq(rand.New(rand.NewSource(2)), 90)
+	al.FitEditDistance(a, b)
+	want := int64(90) * 3 // ⌈130/64⌉ = 3 blocks
+	if al.Cells != want || al.CellsBitvec != want {
+		t.Fatalf("Cells = %d, CellsBitvec = %d, want %d", al.Cells, al.CellsBitvec, want)
+	}
+}
+
+func TestFitEditThreshold(t *testing.T) {
+	// t = 0.95, n = 100: any accepting alignment has at most
+	// ⌊0.05/0.95·100⌋ = 5 edits.
+	if got := fitEditThreshold(100, 0.95); got != 5 {
+		t.Fatalf("fitEditThreshold(100, .95) = %d, want 5", got)
+	}
+	// Thresholds at or below 1/2 admit n edits: the stage cannot reject.
+	if got := fitEditThreshold(100, 0.5); got != -1 {
+		t.Fatalf("fitEditThreshold(100, .5) = %d, want -1", got)
+	}
+	if got := fitEditThreshold(100, 0); got != -1 {
+		t.Fatalf("fitEditThreshold(100, 0) = %d, want -1", got)
+	}
+}

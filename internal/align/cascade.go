@@ -59,6 +59,15 @@ const (
 	StageBanded
 	// StageFull means the cascade fell through to the exact full DP.
 	StageFull
+	// StageBitvec is a bit-parallel certified reject: the exact fit
+	// edit distance exceeds the Definition-1 identity ceiling
+	// (bitparallel.go). Numbered after StageFull so the wire encoding
+	// of the pre-kernel stages is unchanged.
+	StageBitvec
+	// StageStriped is a striped-int16 certified reject: a true local
+	// alignment score exceeds the Definition-2 forced-gap ceiling
+	// (striped.go).
+	StageStriped
 )
 
 func (s Stage) String() string {
@@ -69,8 +78,26 @@ func (s Stage) String() string {
 		return "banded"
 	case StageFull:
 		return "full"
+	case StageBitvec:
+		return "bitvec"
+	case StageStriped:
+		return "striped"
 	}
 	return "none"
+}
+
+// Kernel names the kernel that computed a stage's deciding bound, for
+// the pace_kernel_* observability counters: the bit-parallel and
+// striped stages are decided by their namesake kernels, everything else
+// by the int32 scalar kernels.
+func (s Stage) Kernel() string {
+	switch s {
+	case StageBitvec:
+		return "bitvec"
+	case StageStriped:
+		return "striped"
+	}
+	return "int32"
 }
 
 // minGapCost lower-bounds the affine penalty of any alignment containing
@@ -332,7 +359,15 @@ func (al *Aligner) FitScoreCertified(a, b []byte, seed SeedMatch) int32 {
 			dhi = d0 + g
 		}
 		if dlo <= -n && dhi >= m {
-			return al.fitScoreBand(a, b, -n, m) // full coverage: exact by construction
+			// Full coverage: exact by construction. The striped int16
+			// kernel computes the same score at half the memory traffic
+			// whenever its certified window applies.
+			if al.Kernels == KernelAuto {
+				if s, ok := al.FitScoreStriped(a, b); ok {
+					return s
+				}
+			}
+			return al.fitScoreBand(a, b, -n, m)
 		}
 		s := al.fitScoreBand(a, b, dlo, dhi)
 		if int64(s) >= int64(u)-int64(al.minGapCost(g+1)) {
@@ -428,6 +463,14 @@ func (al *Aligner) fitMatchesPossible(a, b []byte, dlo, dhi, req int) bool {
 // Definition-1 band is pinned by the fit geometry itself (lengths and
 // the identity threshold), which is tighter than any seed anchor.
 func (al *Aligner) ContainedCascade(a, b []byte, p ContainParams, seed SeedMatch) (bool, Stage) {
+	return al.ContainedCascadeProf(a, b, p, seed, nil)
+}
+
+// ContainedCascadeProf is ContainedCascade with an optional prebuilt
+// profile of a (see Profile.Build; pool.ProfileSet shares profiles
+// across a batch). A nil profile is built on demand into the aligner's
+// scratch, so the two forms are interchangeable.
+func (al *Aligner) ContainedCascadeProf(a, b []byte, p ContainParams, seed SeedMatch, pa *Profile) (bool, Stage) {
 	_ = seed
 	n, m := len(a), len(b)
 	if n > m || n == 0 || m == 0 {
@@ -443,6 +486,22 @@ func (al *Aligner) ContainedCascade(a, b []byte, p ContainParams, seed SeedMatch
 	if req > 0 {
 		if matchUpperBound(a, b) < req {
 			return false, StagePrefilter
+		}
+		// Bit-parallel stage: the exact fit edit distance at ~m·n/64
+		// word operations, against the identity ceiling derived in
+		// bitparallel.go. Runs before the banded DP because it is an
+		// order of magnitude cheaper than even a narrow band.
+		if al.Kernels == KernelAuto {
+			if emax := fitEditThreshold(n, p.MinIdentity-thresholdSlack); emax >= 0 {
+				prof := pa
+				if prof == nil {
+					al.prof.buildBits(al.sc, a)
+					prof = &al.prof
+				}
+				if al.FitEditDistanceProf(prof, b) > emax {
+					return false, StageBitvec
+				}
+			}
 		}
 		// Matches ≥ req also pins the geometry: at most imax = n − req
 		// gap-in-B columns, and a fit path starts on diagonal ≥ 0 and
@@ -484,6 +543,12 @@ const cascadeLocalBand = 8
 // the reject. The seed anchors the banded local score and the seed-run
 // score floor; arbitrary (even wrong) seeds only weaken the bounds.
 func (al *Aligner) OverlapsCascade(a, b []byte, p OverlapParams, seed SeedMatch) (bool, Stage) {
+	return al.OverlapsCascadeProf(a, b, p, seed, nil)
+}
+
+// OverlapsCascadeProf is OverlapsCascade with an optional prebuilt
+// profile of a (nil: built on demand into the aligner's scratch).
+func (al *Aligner) OverlapsCascadeProf(a, b []byte, p OverlapParams, seed SeedMatch, pa *Profile) (bool, Stage) {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return false, StagePrefilter // Overlaps sees zero columns
@@ -514,6 +579,20 @@ func (al *Aligner) OverlapsCascade(a, b []byte, p OverlapParams, seed SeedMatch)
 			}
 			if int64(al.LocalScoreBandedAnchored(a, b, seed.Diag(), cascadeLocalBand)) > ub {
 				return false, StageBanded
+			}
+			// Striped stage: the full local score in int16 state. The
+			// kernel's score is a true local-alignment score — exact
+			// when ok, a saturated lower bound otherwise — so exceeding
+			// ub certifies the reject either way.
+			if al.Kernels == KernelAuto {
+				prof := pa
+				if prof == nil {
+					al.prof.buildCols(al.sc, a)
+					prof = &al.prof
+				}
+				if s, _ := al.LocalScoreStripedProf(prof, b); int64(s) > ub {
+					return false, StageStriped
+				}
 			}
 		}
 	}

@@ -152,6 +152,23 @@ func abs(x int) int {
 	return x
 }
 
+// TestAnchoredBandLeftEdgeRegression pins the band's left-edge
+// horizontal carry: reading the stale previous-row H there used to
+// inflate the banded score above the full local optimum (seed found by
+// quick.Check), breaking the sandwich the cascade's certificate relies
+// on.
+func TestAnchoredBandLeftEdgeRegression(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	rng := rand.New(rand.NewSource(3649157941712816913))
+	a, b := pairKinds(rng)
+	full := al.LocalScore(a, b)
+	diag := rng.Intn(2*len(b)) - len(b)
+	band := rng.Intn(20)
+	if s := al.LocalScoreBandedAnchored(a, b, diag, band); s < 0 || s > full {
+		t.Fatalf("banded score %d outside [0, %d]", s, full)
+	}
+}
+
 func TestFitMatchesPossibleBasics(t *testing.T) {
 	al := NewAligner(nil)
 	s := []byte("ACDEFGHIKLMNPQRSTVWY")
@@ -255,8 +272,9 @@ func TestCascadeStages(t *testing.T) {
 	wantOK, _ := exact.Contained(a, b, cp)
 	check("contain/prefilter", ok, wantOK, st, StagePrefilter)
 
-	// Same composition, reversed order: composition passes, the banded
-	// max-matches DP proves the identity threshold unreachable.
+	// Same composition, reversed order: composition passes, the
+	// bit-parallel edit-distance ceiling proves the identity threshold
+	// unreachable before the banded DP even runs.
 	a = bytes.Repeat([]byte("ACDEFGHIKLMNPQRSTVWY"), 3)
 	rev := make([]byte, len(a))
 	for i, c := range a {
@@ -264,6 +282,13 @@ func TestCascadeStages(t *testing.T) {
 	}
 	ok, st = al.ContainedCascade(a, rev, cp, SeedMatch{})
 	wantOK, _ = exact.Contained(a, rev, cp)
+	check("contain/bitvec", ok, wantOK, st, StageBitvec)
+
+	// With the word-parallel kernels disabled the banded max-matches DP
+	// provides the same certificate one stage later.
+	scalar := NewAligner(Blosum62(11, 1))
+	scalar.Kernels = KernelScalar
+	ok, st = scalar.ContainedCascade(a, rev, cp, SeedMatch{})
 	check("contain/banded", ok, wantOK, st, StageBanded)
 
 	// A genuinely contained pair must reach the full DP and accept.
@@ -297,6 +322,15 @@ func TestCascadeStages(t *testing.T) {
 	// the same certificate one stage later.
 	ok, st = al.OverlapsCascade(a, b, op, SeedMatch{})
 	check("overlap/banded", ok, wantOK, st, StageBanded)
+
+	// A high-scoring match far off the (unanchored) band: the banded
+	// lower bound misses it, but the striped full local score exceeds
+	// the forced-gap ceiling and rejects before the exact DP.
+	a = bytes.Repeat([]byte("W"), 60)
+	b = append(bytes.Repeat([]byte("A"), 40), bytes.Repeat([]byte("W"), 60)...)
+	ok, st = al.OverlapsCascade(a, b, op, SeedMatch{})
+	wantOK, _ = exact.Overlaps(a, b, op)
+	check("overlap/striped", ok, wantOK, st, StageStriped)
 
 	// A same-length overlapping pair falls through to the full DP.
 	s := randSeq(rand.New(rand.NewSource(5)), 100)

@@ -1,0 +1,75 @@
+package align
+
+// Profile is a per-query preprocessed view of one sequence under a
+// scoring scheme, shared by the word-parallel kernels:
+//
+//   - peq holds the Myers bit-vector match masks — for each alphabet
+//     letter, one 64-bit word per block of 64 query rows — consumed by
+//     the bit-parallel edit-distance kernel (bitparallel.go).
+//   - cols holds the Farrar-style query profile Sub[a_i][c] laid out
+//     letter-major, so the striped int16 kernels (striped.go) read one
+//     contiguous int16 stream per text column instead of chasing the
+//     substitution matrix cell by cell.
+//
+// A profile is built once per sequence and reused across every pair the
+// sequence participates in (see pool.ProfileSet). Build reuses the
+// backing arrays geometrically, so a warm Profile never allocates.
+// A Profile is immutable between builds and safe for concurrent readers.
+type Profile struct {
+	n      int      // query length
+	blocks int      // ⌈n/64⌉ bit-vector blocks
+	peq    []uint64 // 26·blocks; peq[c·blocks+k] masks letter c over rows [64k, 64k+63]
+	cols   []int16  // 26·n; cols[c·n+i] = Sub[a_i][c]
+}
+
+// Len returns the query length the profile was last built for.
+func (p *Profile) Len() int { return p.n }
+
+// Build (re)fills both kernel views of the profile for query a under
+// scoring sc (DefaultScoring() if nil).
+func (p *Profile) Build(sc *Scoring, a []byte) {
+	p.buildBits(sc, a)
+	p.buildCols(sc, a)
+}
+
+// buildBits fills only the bit-parallel match masks. The single-threaded
+// scratch path uses it so a zero-DP reject never pays for the int16
+// profile it would not read.
+func (p *Profile) buildBits(sc *Scoring, a []byte) {
+	_ = sc
+	n := len(a)
+	blocks := (n + 63) / 64
+	p.n, p.blocks = n, blocks
+	need := 26 * blocks
+	if cap(p.peq) < need {
+		p.peq = make([]uint64, geomCap(need, cap(p.peq)))
+	}
+	p.peq = p.peq[:need]
+	for i := range p.peq {
+		p.peq[i] = 0
+	}
+	for i, c := range a {
+		p.peq[int(c-'A')*blocks+i/64] |= 1 << (uint(i) & 63)
+	}
+}
+
+// buildCols fills only the striped int16 query profile.
+func (p *Profile) buildCols(sc *Scoring, a []byte) {
+	if sc == nil {
+		sc = DefaultScoring()
+	}
+	n := len(a)
+	p.n = n
+	p.blocks = (n + 63) / 64
+	need := 26 * n
+	if cap(p.cols) < need {
+		p.cols = make([]int16, geomCap(need, cap(p.cols)))
+	}
+	p.cols = p.cols[:need]
+	for c := 0; c < 26; c++ {
+		row := p.cols[c*n : (c+1)*n : (c+1)*n]
+		for i, ra := range a {
+			row[i] = sc.Sub[ra-'A'][c]
+		}
+	}
+}

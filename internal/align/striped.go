@@ -1,0 +1,243 @@
+package align
+
+import "math"
+
+// Striped int16 scoring kernels in the style of Farrar's query-profile
+// design. Go has no portable SIMD intrinsics, so these kernels keep the
+// two halves of that design that pay off in scalar code: the letter-major
+// query profile (Profile.cols) turns the inner loop's substitution lookup
+// into one sequential int16 stream per text column, and the rolling DP
+// state lives in int16 arrays — half the memory traffic of the int32
+// rows. Exactness is preserved by the same contract that certifies the
+// cascade: every range hazard is either excluded up front or detected
+// per cell, and the kernel returns ok == false, letting the caller fall
+// through to the int32 scalar path. DESIGN.md §7d gives the argument.
+
+const (
+	// stripedGapMax bounds the gap penalties the int16 kernels accept:
+	// it keeps −open above the −inf sentinel the gap carries start from,
+	// so an unreachable carry can never win a max against a real one.
+	stripedGapMax = 16000
+	// stripedFloor is the absorbing "unreachable" floor of the fit
+	// kernel. Values clamped up to it can gain at most n·maxSub along
+	// any later path; fitStripedApplies admits only inputs where that
+	// ceiling stays below every true fit score, so a floored value can
+	// never influence the result.
+	stripedFloor = -28000
+)
+
+// LocalScoreStriped computes LocalScore(a, b) through the int16 profile
+// kernel, building a scratch profile for a. See LocalScoreStripedProf.
+func (al *Aligner) LocalScoreStriped(a, b []byte) (int32, bool) {
+	al.prof.buildCols(al.sc, a)
+	return al.LocalScoreStripedProf(&al.prof, b)
+}
+
+// LocalScoreStripedProf computes the Smith–Waterman score of the
+// profiled query against b in int16 state. The returned score is always
+// a true local-alignment score of the pair: the optimum when ok is
+// true, and a saturated lower bound when ok is false (the kernel bailed
+// on the first DP value above the int16 range — that value is itself an
+// exact, achievable score). Callers needing the optimum must fall back
+// to LocalScore when ok is false; callers comparing against a ceiling
+// may use the score either way.
+func (al *Aligner) LocalScoreStripedProf(p *Profile, b []byte) (int32, bool) {
+	n, m := p.n, len(b)
+	if n == 0 || m == 0 {
+		return 0, true
+	}
+	open, ext := int(al.sc.GapOpen), int(al.sc.GapExtend)
+	if open > stripedGapMax || ext > stripedGapMax {
+		return 0, false
+	}
+	al.grow16(n)
+	al.Cells += int64(n) * int64(m)
+	al.CellsStriped += int64(n) * int64(m)
+	h, f := al.m16, al.y16
+	const carryInit = -1 << 14 // below any reachable carry, above int16 min after −ext
+	for i := 0; i <= n; i++ {
+		h[i] = 0
+		f[i] = carryInit
+	}
+	best := 0
+	// Row 0 is constant (H == 0, F == carryInit), so the DP rows 1..n live
+	// in equal-length slices the compiler can bounds-check once per column.
+	hr, fr := h[1:n+1], f[1:n+1]
+	for j := 0; j < m; j++ {
+		base := int(b[j]-'A') * n
+		prof := p.cols[base : base+n]
+		diag := 0      // H[i−1][j−1]
+		e := carryInit // E[i−1][j]: vertical carry down the column
+		hAbove := 0    // H[i−1][j]: this column's previous row
+		for i := 0; i < n; i++ {
+			// E[i][j] = max(H[i−1][j]−open, E[i−1][j]−ext).
+			ev := hAbove - open
+			if t := e - ext; t > ev {
+				ev = t
+			}
+			e = ev
+			// F[i][j] = max(H[i][j−1]−open, F[i][j−1]−ext); hr[i] and
+			// fr[i] still hold the previous column.
+			left := int(hr[i])
+			fv := left - open
+			if t := int(fr[i]) - ext; t > fv {
+				fv = t
+			}
+			hv := diag + int(prof[i])
+			if ev > hv {
+				hv = ev
+			}
+			if fv > hv {
+				hv = fv
+			}
+			if hv < 0 {
+				hv = 0
+			}
+			if hv > math.MaxInt16 {
+				return int32(hv), false
+			}
+			diag = left
+			hr[i] = int16(hv)
+			fr[i] = int16(fv)
+			hAbove = hv
+			if hv > best {
+				best = hv
+			}
+		}
+	}
+	return int32(best), true
+}
+
+// fitStripedApplies reports whether the int16 fit kernel is certified
+// for an n-row query under the aligner's scoring: the absorbing floor
+// plus the largest possible gain along any path (n substitution columns
+// at maxSub each) must stay below the all-gap fit score −(open+(n−1)·ext),
+// which every true fit score dominates. Inside that window no clamped
+// value can ever win a max that reaches the result, and no genuine
+// value can leave the int16 range upward (true fit scores are ≤ n·maxSub).
+func (al *Aligner) fitStripedApplies(n int) bool {
+	open, ext := int64(al.sc.GapOpen), int64(al.sc.GapExtend)
+	if open > stripedGapMax || ext > stripedGapMax {
+		return false
+	}
+	gain := int64(n) * int64(al.maxSubScore())
+	return gain+open+int64(n-1)*ext < -stripedFloor
+}
+
+// FitScoreStriped computes FitScore(a, b) through the int16 profile
+// kernel, building a scratch profile for a. See FitScoreStripedProf.
+func (al *Aligner) FitScoreStriped(a, b []byte) (int32, bool) {
+	al.prof.buildCols(al.sc, a)
+	return al.FitScoreStripedProf(&al.prof, b)
+}
+
+// FitScoreStripedProf computes the exact fit score of the profiled
+// query against b — equal to FitScore — in int16 state, or ok == false
+// when the scoring scale and query length fall outside the certified
+// int16 window (the caller must use the scalar kernel). It mirrors the
+// three-state Fit recurrence of Align exactly, including the X↛Y
+// transition asymmetry and the i==1 fresh starts, evaluated text-major
+// so the profile streams sequentially.
+func (al *Aligner) FitScoreStripedProf(p *Profile, b []byte) (int32, bool) {
+	n, m := p.n, len(b)
+	if n == 0 || m == 0 {
+		return 0, true
+	}
+	if !al.fitStripedApplies(n) {
+		return 0, false
+	}
+	open, ext := int(al.sc.GapOpen), int(al.sc.GapExtend)
+	al.grow16(n)
+	al.Cells += int64(n) * int64(m)
+	al.CellsStriped += int64(n) * int64(m)
+	ms, xs, ys := al.m16, al.x16, al.y16
+	// Column j == 0 border: M and Y unreachable, X is the leading
+	// gap-in-B chain (its true values, all above the floor inside the
+	// certified window).
+	ms[0], xs[0], ys[0] = stripedFloor, stripedFloor, stripedFloor
+	for i := 1; i <= n; i++ {
+		ms[i], ys[i] = stripedFloor, stripedFloor
+		xs[i] = int16(-open - (i-1)*ext)
+	}
+	// FitScore's answer scans the last row's M and X states including
+	// the j == 0 border.
+	best := int(xs[n])
+	if v := int(ms[n]); v > best {
+		best = v
+	}
+	for j := 0; j < m; j++ {
+		prof := p.cols[int(b[j]-'A')*n:]
+		// Diagonal registers: previous column's row i−1.
+		dm, dx, dy := int(ms[0]), int(xs[0]), int(ys[0])
+		// Current column's row i−1 (row 0 is the unreachable border).
+		cm, cx, cy := stripedFloor, stripedFloor, stripedFloor
+		for i := 1; i <= n; i++ {
+			// M: best diagonal predecessor, fresh start on row 1.
+			bm := dm
+			if dx > bm {
+				bm = dx
+			}
+			if dy > bm {
+				bm = dy
+			}
+			if i == 1 && 0 >= bm {
+				bm = 0
+			}
+			mv := bm + int(prof[i-1])
+
+			// X: vertical, may leave Y but Y may not leave X.
+			bx := cm - open
+			if t := cx - ext; t > bx {
+				bx = t
+			}
+			if t := cy - open; t > bx {
+				bx = t
+			}
+			if i == 1 && -open > bx {
+				bx = -open
+			}
+
+			// Y: horizontal, from the previous column's same row.
+			by := int(ms[i]) - open
+			if t := int(ys[i]) - ext; t > by {
+				by = t
+			}
+
+			if mv < stripedFloor {
+				mv = stripedFloor
+			}
+			if bx < stripedFloor {
+				bx = stripedFloor
+			}
+			if by < stripedFloor {
+				by = stripedFloor
+			}
+
+			dm, dx, dy = int(ms[i]), int(xs[i]), int(ys[i])
+			ms[i], xs[i], ys[i] = int16(mv), int16(bx), int16(by)
+			cm, cx, cy = mv, bx, by
+			if i == n {
+				if mv > best {
+					best = mv
+				}
+				if bx > best {
+					best = bx
+				}
+			}
+		}
+	}
+	return int32(best), true
+}
+
+// grow16 sizes the three int16 DP column buffers for an n-row query.
+func (al *Aligner) grow16(n int) {
+	if cap(al.m16) < n+1 {
+		c := geomCap(n+1, cap(al.m16))
+		al.m16 = make([]int16, c)
+		al.x16 = make([]int16, c)
+		al.y16 = make([]int16, c)
+	}
+	al.m16 = al.m16[:n+1]
+	al.x16 = al.x16[:n+1]
+	al.y16 = al.y16[:n+1]
+}

@@ -1,0 +1,188 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLocalScoreStripedMatchesScalar: the int16 profile kernel must
+// reproduce LocalScore exactly whenever it reports ok.
+func TestLocalScoreStripedMatchesScalar(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	exact := NewAligner(Blosum62(11, 1))
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		a := randSeq(rng, 1+rng.Intn(180))
+		var b []byte
+		if trial%2 == 0 {
+			b = randSeq(rng, 1+rng.Intn(180))
+		} else {
+			b = mutate(rng, a, float64(trial%7)*0.05)
+		}
+		got, ok := al.LocalScoreStriped(a, b)
+		if !ok {
+			t.Fatalf("trial %d: unexpected saturation on BLOSUM62 inputs", trial)
+		}
+		if want := exact.LocalScore(a, b); got != want {
+			t.Fatalf("trial %d: LocalScoreStriped = %d, LocalScore = %d", trial, got, want)
+		}
+	}
+}
+
+// TestFitScoreStripedMatchesScalar: same contract for the fit kernel.
+func TestFitScoreStripedMatchesScalar(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	exact := NewAligner(Blosum62(11, 1))
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 400; trial++ {
+		a := randSeq(rng, 1+rng.Intn(150))
+		var b []byte
+		switch trial % 3 {
+		case 0:
+			b = randSeq(rng, 1+rng.Intn(200))
+		case 1:
+			b = mutate(rng, a, 0.08)
+		default:
+			core := mutate(rng, a, 0.03)
+			b = append(append(randSeq(rng, rng.Intn(30)), core...), randSeq(rng, rng.Intn(30))...)
+		}
+		got, ok := al.FitScoreStriped(a, b)
+		if !ok {
+			t.Fatalf("trial %d: unexpected saturation on BLOSUM62 inputs", trial)
+		}
+		if want := exact.FitScore(a, b); got != want {
+			t.Fatalf("trial %d: FitScoreStriped = %d, FitScore = %d", trial, got, want)
+		}
+	}
+}
+
+// TestStripedSaturationFallsThrough: scoring scales that can push DP
+// values past int16 range must be refused (ok == false), and any score
+// returned by a saturated local run must still be a valid lower bound.
+func TestStripedSaturationFallsThrough(t *testing.T) {
+	// match = 20000: two matched residues already exceed MaxInt16.
+	hot := Identity(20000, -2, 11, 1)
+	al := NewAligner(hot)
+	exact := NewAligner(hot)
+	a := []byte("AAAAAAAA")
+	b := []byte("AAAAAAAA")
+
+	s, ok := al.LocalScoreStriped(a, b)
+	if ok {
+		t.Fatal("local kernel claimed exactness past int16 range")
+	}
+	want := exact.LocalScore(a, b)
+	if int64(s) > int64(want) {
+		t.Fatalf("saturated local score %d exceeds exact %d", s, want)
+	}
+	if s <= 32767-20000 {
+		t.Fatalf("saturated local score %d should be near the bail point", s)
+	}
+
+	if _, ok := al.FitScoreStriped(a, b); ok {
+		t.Fatal("fit kernel claimed exactness outside its certified window")
+	}
+
+	// Gap penalties beyond the sentinel guard must also fall through.
+	wide := Identity(4, -2, 20001, 1)
+	al2 := NewAligner(wide)
+	if _, ok := al2.LocalScoreStriped(a, b); ok {
+		t.Fatal("local kernel accepted out-of-range gap penalties")
+	}
+	if _, ok := al2.FitScoreStriped(a, b); ok {
+		t.Fatal("fit kernel accepted out-of-range gap penalties")
+	}
+}
+
+// TestFitScoreStripedWindow drives the certified-window precondition:
+// a scoring scale where n·maxSub approaches the floor margin must flip
+// from exact to refused as n grows, never returning a wrong score.
+func TestFitScoreStripedWindow(t *testing.T) {
+	sc := Identity(500, -100, 11, 1) // window ends near n ≈ 55
+	al := NewAligner(sc)
+	exact := NewAligner(sc)
+	rng := rand.New(rand.NewSource(17))
+	sawExact, sawRefused := false, false
+	for n := 40; n <= 80; n += 5 {
+		a := randSeq(rng, n)
+		b := mutate(rng, a, 0.2)
+		got, ok := al.FitScoreStriped(a, b)
+		if !ok {
+			sawRefused = true
+			continue
+		}
+		sawExact = true
+		if want := exact.FitScore(a, b); got != want {
+			t.Fatalf("n=%d: FitScoreStriped = %d, FitScore = %d", n, got, want)
+		}
+	}
+	if !sawExact || !sawRefused {
+		t.Fatalf("window sweep should cross the precondition boundary (exact=%v refused=%v)", sawExact, sawRefused)
+	}
+}
+
+// TestProfileReuseAcrossPairs: one profile, many partners — results
+// must match the scratch-profile path bit for bit.
+func TestProfileReuseAcrossPairs(t *testing.T) {
+	al := NewAligner(Blosum62(11, 1))
+	exact := NewAligner(Blosum62(11, 1))
+	rng := rand.New(rand.NewSource(19))
+	a := randSeq(rng, 120)
+	var p Profile
+	p.Build(al.Scoring(), a)
+	for trial := 0; trial < 50; trial++ {
+		b := mutate(rng, a, float64(trial%5)*0.1)
+		if got, ok := al.LocalScoreStripedProf(&p, b); !ok || got != exact.LocalScore(a, b) {
+			t.Fatalf("trial %d: profile local %d (ok=%v) != scalar %d", trial, got, ok, exact.LocalScore(a, b))
+		}
+		if got, ok := al.FitScoreStripedProf(&p, b); !ok || got != exact.FitScore(a, b) {
+			t.Fatalf("trial %d: profile fit %d (ok=%v) != scalar %d", trial, got, ok, exact.FitScore(a, b))
+		}
+		if got, want := al.FitEditDistanceProf(&p, b), refFitEditDistance(a, b); got != want {
+			t.Fatalf("trial %d: profile edit distance %d != reference %d", trial, got, want)
+		}
+	}
+}
+
+// TestCascadeProfMatchesScratch: the profile-carrying cascade entry
+// points must return identical verdicts and stages to the nil-profile
+// forms.
+func TestCascadeProfMatchesScratch(t *testing.T) {
+	al1 := NewAligner(Blosum62(11, 1))
+	al2 := NewAligner(Blosum62(11, 1))
+	rng := rand.New(rand.NewSource(23))
+	cp := DefaultContainParams()
+	op := DefaultOverlapParams()
+	for trial := 0; trial < 200; trial++ {
+		a := randSeq(rng, 20+rng.Intn(100))
+		var b []byte
+		switch trial % 4 {
+		case 0:
+			b = randSeq(rng, 20+rng.Intn(150))
+		case 1:
+			b = mutate(rng, a, 0.04)
+		case 2:
+			core := mutate(rng, a, 0.02)
+			b = append(append(randSeq(rng, rng.Intn(20)), core...), randSeq(rng, rng.Intn(20))...)
+		default:
+			b = mutate(rng, a, 0.4)
+		}
+		if len(a) > len(b) {
+			a, b = b, a
+		}
+		seed := SeedMatch{PosA: rng.Intn(len(a)), PosB: rng.Intn(len(b)), Len: rng.Intn(30)}
+		var pa Profile
+		pa.Build(al1.Scoring(), a)
+
+		ok1, st1 := al1.ContainedCascadeProf(a, b, cp, seed, &pa)
+		ok2, st2 := al2.ContainedCascade(a, b, cp, seed)
+		if ok1 != ok2 || st1 != st2 {
+			t.Fatalf("trial %d: contained prof (%v,%v) != scratch (%v,%v)", trial, ok1, st1, ok2, st2)
+		}
+		ok1, st1 = al1.OverlapsCascadeProf(a, b, op, seed, &pa)
+		ok2, st2 = al2.OverlapsCascade(a, b, op, seed)
+		if ok1 != ok2 || st1 != st2 {
+			t.Fatalf("trial %d: overlaps prof (%v,%v) != scratch (%v,%v)", trial, ok1, st1, ok2, st2)
+		}
+	}
+}

@@ -9,6 +9,11 @@ import (
 	"time"
 )
 
+// meshHandshakeTimeout bounds the accept/handshake phase of DialMesh.
+// Dial retries exhaust after ~5 s, so a rank whose peer failed to start
+// errors out shortly after instead of blocking in Accept forever.
+const meshHandshakeTimeout = 15 * time.Second
+
 // wireMsg is the gob envelope exchanged over TCP. Data is either the
 // payload itself (gob-encoded) or a rawFrame holding a compact binary
 // encoding of it (see codec.go).
@@ -175,16 +180,25 @@ func DialMesh(r int, addrs []string) (*Comm, func(), error) {
 		errMu.Unlock()
 	}
 
-	// Accept connections from all lower ranks.
+	// Accept connections from all lower ranks. The wait is bounded: a
+	// peer whose own setup failed (listen collision, dial exhaustion)
+	// never connects, and an unbounded Accept would deadlock the whole
+	// mesh on one rank's error. Dialers give up after ~5 s of retries,
+	// so a deadline comfortably above that converts the deadlock into an
+	// error the caller sees.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		deadline := time.Now().Add(meshHandshakeTimeout)
+		ln.(*net.TCPListener).SetDeadline(deadline)
+		defer ln.(*net.TCPListener).SetDeadline(time.Time{})
 		for i := 0; i < r; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
 				setErr(fmt.Errorf("mpi: rank %d accept: %w", r, err))
 				return
 			}
+			conn.SetReadDeadline(deadline)
 			cr := &countReader{r: conn}
 			dec := gob.NewDecoder(cr)
 			var peer int
@@ -192,6 +206,7 @@ func DialMesh(r int, addrs []string) (*Comm, func(), error) {
 				setErr(fmt.Errorf("mpi: rank %d handshake: %w", r, err))
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			conns[peer] = conn
 			decs[peer] = dec
 			crs[peer] = cr
@@ -208,7 +223,19 @@ func DialMesh(r int, addrs []string) (*Comm, func(), error) {
 			for attempt := 0; attempt < 100; attempt++ {
 				conn, err = net.Dial("tcp", addrs[peer])
 				if err == nil {
-					break
+					// TCP simultaneous-open hazard: dialing a port in the
+					// kernel's ephemeral range before the peer's listener is
+					// up can self-connect (local == remote address). The
+					// "connection" looks established but the peer's Accept
+					// never fires, deadlocking the mesh handshake — drop it
+					// and retry like any refused dial.
+					if conn.LocalAddr().String() == conn.RemoteAddr().String() {
+						conn.Close()
+						conn = nil
+						err = fmt.Errorf("mpi: rank %d self-connected dialing %s", r, addrs[peer])
+					} else {
+						break
+					}
 				}
 				time.Sleep(50 * time.Millisecond)
 			}

@@ -25,6 +25,7 @@ import (
 	"profam/internal/align"
 	"profam/internal/metrics"
 	"profam/internal/mpi"
+	"profam/internal/pool"
 	"profam/internal/seq"
 	"profam/internal/trace"
 	"profam/internal/unionfind"
@@ -123,6 +124,12 @@ type Config struct {
 	// shortcuts); this is the escape hatch and the reference for the
 	// determinism tests.
 	ExactAlign bool
+	// ScalarKernels disables the word-parallel alignment kernels (the
+	// bit-parallel and striped-int16 cascade stages and the batch-level
+	// profile reuse), keeping the cascade on the int32 scalar kernels
+	// only. Verdicts are identical either way; this is the reference arm
+	// for the kernel determinism tests and benchmarks.
+	ScalarKernels bool
 	// Metrics receives every phase counter, histogram and span; it is
 	// the single accumulation path behind Stats (which is a read-out of
 	// the registry taken at phase end). Each rank passes its own
@@ -229,6 +236,11 @@ type AlignOutcome struct {
 	// FullCells is what the exact full-matrix predicate would have cost,
 	// so the master can report the cells the cascade eliminated.
 	FullCells int64
+	// CellsBitvec and CellsStriped split Cells by the kernel that
+	// computed them (the remainder ran on the int32 scalar kernels), so
+	// the master can export per-kernel cell counters.
+	CellsBitvec  int64
+	CellsStriped int64
 }
 
 // WorkerMsg is the worker→master payload: the next pair batch, the
@@ -245,7 +257,7 @@ type WorkerMsg struct {
 }
 
 // WireSize implements mpi.Sized.
-func (m WorkerMsg) WireSize() int { return 16 + 20*len(m.Pairs) + 27*len(m.Results) }
+func (m WorkerMsg) WireSize() int { return 16 + 20*len(m.Pairs) + 29*len(m.Results) }
 
 // MasterMsg is the master→worker round payload.
 type MasterMsg struct {
@@ -324,9 +336,12 @@ type masterLogic interface {
 	absorb(r AlignOutcome)
 }
 
-// workerLogic computes the phase predicate for one assigned pair.
+// workerLogic computes the phase predicate for one assigned pair. ps
+// shares query profiles for the word-parallel kernels across the pairs
+// of one batch; nil runs the kernels on scratch profiles (or, with
+// scalar kernels, not at all).
 type workerLogic interface {
-	alignPair(al *align.Aligner, set *seq.Set, p PairItem) AlignOutcome
+	alignPair(al *align.Aligner, ps *pool.ProfileSet, set *seq.Set, p PairItem) AlignOutcome
 }
 
 // --- redundancy removal -------------------------------------------------
@@ -365,9 +380,9 @@ type rrWorker struct {
 	exact  bool
 }
 
-func (w rrWorker) alignPair(al *align.Aligner, set *seq.Set, p PairItem) AlignOutcome {
+func (w rrWorker) alignPair(al *align.Aligner, ps *pool.ProfileSet, set *seq.Set, p PairItem) AlignOutcome {
 	a, b := set.Get(int(p.A)), set.Get(int(p.B))
-	before := al.Cells
+	before, beforeBv, beforeSt := al.Cells, al.CellsBitvec, al.CellsStriped
 	out := AlignOutcome{A: p.A, B: p.B,
 		FullCells: int64(len(a.Res)) * int64(len(b.Res))}
 	if w.exact {
@@ -375,10 +390,26 @@ func (w rrWorker) alignPair(al *align.Aligner, set *seq.Set, p PairItem) AlignOu
 		out.OK, out.Which = ok, int8(which)
 	} else {
 		seed := align.SeedMatch{PosA: int(p.OffA), PosB: int(p.OffB), Len: int(p.Len)}
-		ok, which, stage := al.EitherContainedCascade(a.Res, b.Res, w.params, seed)
-		out.OK, out.Which, out.Stage = ok, int8(which), int8(stage)
+		// Replicate EitherContainedCascade's shorter-into-longer
+		// orientation here so the shared profile can be fetched for the
+		// query (shorter) side — the side the word-parallel kernels
+		// profile.
+		q, t, qid := p.A, p.B, 0
+		if len(a.Res) > len(b.Res) {
+			q, t, qid = p.B, p.A, 1
+			seed = seed.Swapped()
+		}
+		var prof *align.Profile
+		qres, tres := set.Get(int(q)).Res, set.Get(int(t)).Res
+		if ps != nil {
+			prof = ps.Get(q, qres)
+		}
+		ok, stage := al.ContainedCascadeProf(qres, tres, w.params, seed, prof)
+		out.OK, out.Which, out.Stage = ok, int8(qid), int8(stage)
 	}
 	out.Cells = al.Cells - before
+	out.CellsBitvec = al.CellsBitvec - beforeBv
+	out.CellsStriped = al.CellsStriped - beforeSt
 	return out
 }
 
@@ -407,18 +438,24 @@ type ccWorker struct {
 	exact  bool
 }
 
-func (w ccWorker) alignPair(al *align.Aligner, set *seq.Set, p PairItem) AlignOutcome {
+func (w ccWorker) alignPair(al *align.Aligner, ps *pool.ProfileSet, set *seq.Set, p PairItem) AlignOutcome {
 	a, b := set.Get(int(p.A)), set.Get(int(p.B))
-	before := al.Cells
+	before, beforeBv, beforeSt := al.Cells, al.CellsBitvec, al.CellsStriped
 	out := AlignOutcome{A: p.A, B: p.B,
 		FullCells: int64(len(a.Res)) * int64(len(b.Res))}
 	if w.exact {
 		out.OK, _ = al.Overlaps(a.Res, b.Res, w.params)
 	} else {
 		seed := align.SeedMatch{PosA: int(p.OffA), PosB: int(p.OffB), Len: int(p.Len)}
-		ok, stage := al.OverlapsCascade(a.Res, b.Res, w.params, seed)
+		var prof *align.Profile
+		if ps != nil {
+			prof = ps.Get(p.A, a.Res)
+		}
+		ok, stage := al.OverlapsCascadeProf(a.Res, b.Res, w.params, seed, prof)
 		out.OK, out.Stage = ok, int8(stage)
 	}
 	out.Cells = al.Cells - before
+	out.CellsBitvec = al.CellsBitvec - beforeBv
+	out.CellsStriped = al.CellsStriped - beforeSt
 	return out
 }

@@ -139,10 +139,20 @@ func (m WorkerMsg) AppendBinary(buf []byte) []byte {
 			f = 1
 		}
 		f |= byte(r.Which) << 1
+		// Bit 2 marks a per-kernel cell split; the two counts ride along
+		// only then, so scalar-kernel and exact-align traffic keeps the
+		// pre-kernel frame layout byte for byte.
+		if r.CellsBitvec != 0 || r.CellsStriped != 0 {
+			f |= 4
+		}
 		buf = append(buf, f)
 		buf = appendZig(buf, int64(r.Stage))
 		buf = binary.AppendUvarint(buf, uint64(r.Cells))
 		buf = binary.AppendUvarint(buf, uint64(r.FullCells))
+		if f&4 != 0 {
+			buf = binary.AppendUvarint(buf, uint64(r.CellsBitvec))
+			buf = binary.AppendUvarint(buf, uint64(r.CellsStriped))
+		}
 	}
 	return buf
 }
@@ -193,10 +203,20 @@ func decodeWorkerMsg(body []byte) (any, error) {
 			if err != nil {
 				return nil, err
 			}
+			var bv, st uint64
+			if f&4 != 0 {
+				if bv, err = r.uvarint(); err != nil {
+					return nil, err
+				}
+				if st, err = r.uvarint(); err != nil {
+					return nil, err
+				}
+			}
 			m.Results[i] = AlignOutcome{
 				A: prevA, B: prevB,
-				OK: f&1 != 0, Which: int8(f >> 1), Stage: int8(stage),
+				OK: f&1 != 0, Which: int8((f >> 1) & 1), Stage: int8(stage),
 				Cells: int64(cells), FullCells: int64(full),
+				CellsBitvec: int64(bv), CellsStriped: int64(st),
 			}
 		}
 	}

@@ -19,11 +19,17 @@ func randomWorkerMsg(rng *rand.Rand) WorkerMsg {
 		})
 	}
 	for i, n := 0, rng.Intn(40); i < n; i++ {
-		m.Results = append(m.Results, AlignOutcome{
+		r := AlignOutcome{
 			A: rng.Int31n(1 << 20), B: rng.Int31n(1 << 20),
-			OK: rng.Intn(2) == 0, Which: int8(rng.Intn(2)), Stage: int8(rng.Intn(4)),
+			OK: rng.Intn(2) == 0, Which: int8(rng.Intn(2)), Stage: int8(rng.Intn(6)),
 			Cells: rng.Int63n(1 << 30), FullCells: rng.Int63n(1 << 30),
-		})
+		}
+		if rng.Intn(2) == 0 {
+			// Kernel cell splits ride an optional frame extension.
+			r.CellsBitvec = rng.Int63n(1 << 24)
+			r.CellsStriped = rng.Int63n(1 << 24)
+		}
+		m.Results = append(m.Results, r)
 	}
 	return m
 }
@@ -102,11 +108,20 @@ func realisticWorkerMsg(rng *rand.Rand, batch int) WorkerMsg {
 	a = int32(rng.Intn(50))
 	for i := 0; i < batch; i++ {
 		a += int32(rng.Intn(3))
-		m.Results = append(m.Results, AlignOutcome{
+		r := AlignOutcome{
 			A: a, B: a + 1 + int32(rng.Intn(60)),
-			OK: rng.Intn(3) > 0, Which: int8(rng.Intn(2)), Stage: int8(1 + rng.Intn(3)),
+			OK: rng.Intn(3) > 0, Which: int8(rng.Intn(2)), Stage: int8(1 + rng.Intn(5)),
 			Cells: int64(rng.Intn(20000)), FullCells: int64(10000 + rng.Intn(90000)),
-		})
+		}
+		// With the word-parallel kernels on, most cascade rejects charge
+		// some bitvec or striped cells.
+		switch r.Stage {
+		case int8(4):
+			r.CellsBitvec = r.Cells
+		case int8(5):
+			r.CellsStriped = r.Cells
+		}
+		m.Results = append(m.Results, r)
 	}
 	return m
 }

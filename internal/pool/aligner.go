@@ -17,10 +17,22 @@ type AlignerCache struct {
 }
 
 // NewAlignerCache returns a cache producing aligners with the given
-// scoring scheme (align.DefaultScoring() if nil).
+// scoring scheme (align.DefaultScoring() if nil) and the default
+// (auto) kernel selection.
 func NewAlignerCache(sc *align.Scoring) *AlignerCache {
+	return NewAlignerCacheKernels(sc, align.KernelAuto)
+}
+
+// NewAlignerCacheKernels is NewAlignerCache with an explicit kernel
+// mode: every aligner the cache produces carries it, so a worker that
+// was configured -kernels=scalar never sees a word-parallel stage.
+func NewAlignerCacheKernels(sc *align.Scoring, mode align.KernelMode) *AlignerCache {
 	c := &AlignerCache{}
-	c.p.New = func() any { return align.NewAligner(sc) }
+	c.p.New = func() any {
+		al := align.NewAligner(sc)
+		al.Kernels = mode
+		return al
+	}
 	return c
 }
 

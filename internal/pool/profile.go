@@ -1,0 +1,70 @@
+package pool
+
+import (
+	"sync"
+
+	"profam/internal/align"
+)
+
+// ProfileCache recycles align.Profile instances the same way
+// AlignerCache recycles aligners: a profile owns a bit-vector table and
+// an int16 substitution table sized to the longest sequence it has
+// profiled, so recycling keeps those buffers warm across batches while
+// idle profiles stay reclaimable by the GC.
+type ProfileCache struct {
+	sc *align.Scoring
+	p  sync.Pool
+}
+
+// NewProfileCache returns a cache building profiles under the given
+// scoring scheme (align.DefaultScoring() if nil).
+func NewProfileCache(sc *align.Scoring) *ProfileCache {
+	c := &ProfileCache{sc: sc}
+	c.p.New = func() any { return new(align.Profile) }
+	return c
+}
+
+// NewSet opens a ProfileSet backed by this cache for one batch of
+// pairs. Close the set with Release when the batch is done.
+func (c *ProfileCache) NewSet() *ProfileSet {
+	return &ProfileSet{cache: c, byID: make(map[int32]*align.Profile)}
+}
+
+// ProfileSet shares built profiles across the pairs of one batch: the
+// word-parallel kernels consume a per-sequence query profile, and a
+// batch aligns each distinct sequence against many partners, so
+// building the profile once per sequence instead of once per pair
+// removes the dominant setup cost from the kernel hot path. Get is safe
+// for concurrent use by the goroutines aligning one batch.
+type ProfileSet struct {
+	cache *ProfileCache
+	mu    sync.Mutex
+	byID  map[int32]*align.Profile
+}
+
+// Get returns the profile of the sequence with the given ID, building
+// it on first use. The profile is built eagerly in full (bit-vector and
+// substitution tables both) under the set's lock, so concurrent kernel
+// calls never race on a partially built profile.
+func (s *ProfileSet) Get(id int32, res []byte) *align.Profile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.byID[id]; ok {
+		return p
+	}
+	p := s.cache.p.Get().(*align.Profile)
+	p.Build(s.cache.sc, res)
+	s.byID[id] = p
+	return p
+}
+
+// Release returns every profile in the set to the backing cache. The
+// set must not be used afterwards.
+func (s *ProfileSet) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, p := range s.byID {
+		s.cache.p.Put(p)
+		delete(s.byID, id)
+	}
+}

@@ -137,6 +137,14 @@ type Config struct {
 	// reference arm for the determinism tests.
 	ExactAlign bool
 
+	// ScalarKernels disables the word-parallel alignment kernels (the
+	// bit-parallel and striped-int16 cascade stages and the batch-level
+	// profile reuse) everywhere the cascade runs, keeping it on the int32
+	// scalar kernels. Families and canonical metrics are identical either
+	// way; this is the reference arm for the kernel determinism tests and
+	// the -kernels benchmark comparisons.
+	ScalarKernels bool
+
 	// TraceCapacity enables event-level tracing: each rank records up to
 	// this many protocol and communication events into a bounded ring
 	// buffer (oldest overwritten beyond capacity, drops counted under
@@ -206,24 +214,26 @@ func (c Config) paceConfig() pace.Config {
 		idx = pace.IndexESA
 	}
 	return pace.Config{
-		Psi:        c.Psi,
-		Index:      idx,
-		BatchPairs: c.BatchPairs,
-		BatchTasks: c.BatchTasks,
-		Threads:    c.ThreadsPerRank,
-		Contain:    align.ContainParams{MinIdentity: c.ContainIdentity, MinCoverage: c.ContainCoverage},
-		Overlap:    align.OverlapParams{MinSimilarity: c.OverlapSimilarity, MinLongCoverage: c.OverlapCoverage},
-		ExactAlign: c.ExactAlign,
-		Lockstep:   c.Lockstep,
+		Psi:           c.Psi,
+		Index:         idx,
+		BatchPairs:    c.BatchPairs,
+		BatchTasks:    c.BatchTasks,
+		Threads:       c.ThreadsPerRank,
+		Contain:       align.ContainParams{MinIdentity: c.ContainIdentity, MinCoverage: c.ContainCoverage},
+		Overlap:       align.OverlapParams{MinSimilarity: c.OverlapSimilarity, MinLongCoverage: c.OverlapCoverage},
+		ExactAlign:    c.ExactAlign,
+		ScalarKernels: c.ScalarKernels,
+		Lockstep:      c.Lockstep,
 	}
 }
 
 func (c Config) bipartiteConfig() bipartite.Config {
 	return bipartite.Config{
-		Psi:        c.Psi,
-		Edge:       align.OverlapParams{MinSimilarity: c.EdgeSimilarity, MinLongCoverage: c.OverlapCoverage},
-		W:          c.W,
-		ExactAlign: c.ExactAlign,
+		Psi:           c.Psi,
+		Edge:          align.OverlapParams{MinSimilarity: c.EdgeSimilarity, MinLongCoverage: c.OverlapCoverage},
+		W:             c.W,
+		ExactAlign:    c.ExactAlign,
+		ScalarKernels: c.ScalarKernels,
 	}
 }
 
