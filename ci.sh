@@ -8,6 +8,12 @@
 #                       or >5% event-tracing overhead on the threads=1
 #                       pipeline kernel (both skipped automatically when
 #                       the host is too noisy)
+#   ./ci.sh lint        staticcheck + govulncheck (skipped with a notice
+#                       when the binaries are not installed)
+#   ./ci.sh e2e         service gate: boot profamd, ingest a datagen corpus
+#                       over HTTP in waves, and diff the served families
+#                       against a cold profam run on the union corpus;
+#                       artifacts land in e2e_artifacts/
 #
 # The race pass matters: the hybrid rank×thread execution model runs
 # alignment batches, index construction and phase 3+4 component jobs on
@@ -17,6 +23,117 @@
 set -eu
 
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "lint" ]; then
+	status=0
+	if command -v staticcheck >/dev/null 2>&1; then
+		echo "== staticcheck =="
+		staticcheck ./... || status=1
+	else
+		echo "== staticcheck not installed; skipping =="
+	fi
+	if command -v govulncheck >/dev/null 2>&1; then
+		echo "== govulncheck =="
+		govulncheck ./... || status=1
+	else
+		echo "== govulncheck not installed; skipping =="
+	fi
+	[ "$status" -eq 0 ] && echo "ci.sh: lint passed"
+	exit "$status"
+fi
+
+if [ "${1:-}" = "e2e" ]; then
+	echo "== service e2e: profamd vs cold profam =="
+	tmp=$(mktemp -d)
+	artifacts="e2e_artifacts"
+	rm -rf "$artifacts"
+	mkdir -p "$artifacts"
+	daemon_pid=""
+	cleanup() {
+		[ -n "$daemon_pid" ] && kill -KILL "$daemon_pid" 2>/dev/null || true
+		rm -rf "$tmp"
+	}
+	trap cleanup EXIT INT TERM
+
+	echo "-- build binaries"
+	go build -o "$tmp/profamd" ./cmd/profamd
+	go build -o "$tmp/profam" ./cmd/profam
+	go build -o "$tmp/datagen" ./cmd/datagen
+
+	echo "-- generate corpus"
+	"$tmp/datagen" -families 6 -mean-size 10 -mean-length 110 \
+		-contained 0.2 -singletons 4 -seed 7 -out "$tmp/orfs.fasta"
+
+	# Split into 3 contiguous waves: arrival order over the waves equals
+	# the FASTA order, which is what makes the cold run byte-comparable.
+	total=$(grep -c '^>' "$tmp/orfs.fasta")
+	per=$(( (total + 2) / 3 ))
+	awk -v per="$per" -v dir="$tmp" \
+		'/^>/{n++} {print > (dir "/wave" int((n-1)/per) ".fasta")}' "$tmp/orfs.fasta"
+
+	echo "-- start profamd"
+	"$tmp/profamd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -p 2 \
+		-batch-wait 100ms -metrics-out "$artifacts/metrics_final.json" \
+		>"$artifacts/profamd.stdout" 2>"$artifacts/profamd.log" &
+	daemon_pid=$!
+
+	i=0
+	while [ ! -s "$tmp/addr" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "profamd never wrote its address" >&2; exit 1; }
+		kill -0 "$daemon_pid" 2>/dev/null || { echo "profamd died during startup" >&2; cat "$artifacts/profamd.log" >&2; exit 1; }
+		sleep 0.1
+	done
+	base="http://$(cat "$tmp/addr")"
+	i=0
+	while ! curl -sf "$base/readyz" >/dev/null; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "profamd never became ready" >&2; exit 1; }
+		sleep 0.1
+	done
+
+	echo "-- ingest $total sequences in 3 waves"
+	for w in 0 1 2; do
+		[ -f "$tmp/wave$w.fasta" ] || continue
+		# Submit in the background, then show that queries keep answering
+		# from the previous snapshot while the new epoch builds.
+		curl -sf --data-binary "@$tmp/wave$w.fasta" "$base/v1/sequences" \
+			>"$tmp/submit$w.json" &
+		submit_pid=$!
+		curl -sf "$base/v1/status" >/dev/null
+		curl -s "$base/v1/families" >/dev/null
+		wait "$submit_pid" || { echo "wave $w submission failed" >&2; cat "$artifacts/profamd.log" >&2; exit 1; }
+		cat "$tmp/submit$w.json"
+		echo
+	done
+
+	echo "-- compare served families against a cold run"
+	curl -sf "$base/v1/families?format=text" >"$artifacts/served_families.txt"
+	curl -sf "$base/metrics" >"$artifacts/metrics_scrape.txt"
+	"$tmp/profam" -in "$tmp/orfs.fasta" -p 2 -out "$artifacts/cold_families.txt" \
+		2>/dev/null
+	if ! diff -u "$artifacts/cold_families.txt" "$artifacts/served_families.txt"; then
+		echo "ci.sh e2e: served families differ from the cold run" >&2
+		exit 1
+	fi
+
+	echo "-- graceful shutdown"
+	kill -TERM "$daemon_pid"
+	i=0
+	while kill -0 "$daemon_pid" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -gt 300 ] && { echo "profamd did not exit after SIGTERM" >&2; exit 1; }
+		sleep 0.1
+	done
+	wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
+	daemon_pid=""
+	[ "$rc" -eq 0 ] || { echo "profamd exited with status $rc" >&2; cat "$artifacts/profamd.log" >&2; exit 1; }
+	grep -q '^# ' "$artifacts/served_families.txt"
+	[ -s "$artifacts/metrics_final.json" ] || { echo "no final metrics flush" >&2; exit 1; }
+
+	echo "ci.sh: e2e service gate passed ($total sequences, byte-identical families)"
+	exit 0
+fi
 
 echo "== gofmt =="
 badfmt=$(gofmt -l .)

@@ -223,15 +223,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err := writeFamilyJSON(bw, set, res); err != nil {
 				return err
 			}
-		} else {
-			fmt.Fprintf(bw, "# %s\n", res.Summary())
-			for fi, fam := range res.Families {
-				fmt.Fprintf(bw, "family %d\tsize=%d\tmean_degree=%.1f\tdensity=%.2f\n",
-					fi, fam.Size(), fam.MeanDegree, fam.Density)
-				for _, id := range fam.Members {
-					fmt.Fprintf(bw, "\t%s\n", set.Get(id).Name)
-				}
-			}
+		} else if err := report.Families(bw, set, res); err != nil {
+			return err
 		}
 		return bw.Flush()
 	}); err != nil {

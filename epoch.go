@@ -1,0 +1,132 @@
+package profam
+
+import (
+	"errors"
+	"fmt"
+
+	"profam/internal/mpi"
+	"profam/internal/seq"
+	"profam/internal/unionfind"
+)
+
+// ErrAborted is returned by epoch runs cancelled through Config.Abort.
+// The failed run's metrics and trace snapshots are stashed via
+// metrics.StashFailed / trace.StashFailed, exactly like any other
+// pipeline error.
+var ErrAborted = errors.New("profam: run aborted")
+
+// ErrConfigChanged rejects an incremental epoch whose configuration
+// differs (in any family-affecting knob) from the one the prior state
+// was built under. The incremental == cold determinism contract only
+// holds when every epoch agrees on those knobs; callers must rebuild
+// from scratch after a config change.
+var ErrConfigChanged = errors.New("profam: config differs from committed epoch state")
+
+// EpochState is the committed clustering state after some number of
+// ingest epochs: the corpus so far plus everything the next epoch needs
+// to avoid reclustering it — redundancy verdicts, the kept-subset
+// union–find, and the per-component family cache. It is immutable once
+// returned: RunEpoch never mutates its input state, so an aborted or
+// failed epoch leaves the committed state (and anything serving from it)
+// untouched. The zero of the type is not useful; start from
+// NewEpochState (epoch 0, empty corpus).
+type EpochState struct {
+	set         *seq.Set
+	redundant   []bool
+	uf          *unionfind.UF
+	famCache    map[uint64]famEntry
+	epoch       int
+	fingerprint string
+}
+
+// NewEpochState returns the empty starting state (epoch 0).
+func NewEpochState() *EpochState {
+	return &EpochState{set: seq.NewSet()}
+}
+
+// Epoch returns how many epochs have been committed into this state.
+func (s *EpochState) Epoch() int { return s.epoch }
+
+// NumSequences returns the corpus size.
+func (s *EpochState) NumSequences() int { return s.set.Len() }
+
+// Set exposes the accumulated corpus. Callers must treat it as
+// read-only.
+func (s *EpochState) Set() *seq.Set { return s.set }
+
+// RunEpoch clusters the union of prior's corpus and the new sequences on
+// p in-process ranks, incrementally: only pairs involving at least one
+// new sequence are aligned, prior redundancy and component verdicts are
+// reused, and components untouched by the new arrivals skip the family
+// phases entirely via the prior's family cache. The returned Result is
+// byte-identical to a cold run over the union corpus (the determinism
+// contract; see DESIGN.md §9) and covers the whole corpus, with sequence
+// IDs assigned in arrival order. On success the second return is the
+// next committed state; on any error — including ErrAborted — it is
+// prior, unchanged. Empty names default to "seq<ID>" by union-corpus
+// position, matching Run.
+func RunEpoch(prior *EpochState, names, seqs []string, p int, cfg Config) (*Result, *EpochState, error) {
+	if prior == nil {
+		prior = NewEpochState()
+	}
+	if names == nil {
+		names = make([]string, len(seqs))
+	}
+	if len(names) != len(seqs) {
+		return nil, prior, fmt.Errorf("profam: %d names but %d sequences", len(names), len(seqs))
+	}
+	fp := cfg.epochFingerprint()
+	if prior.epoch > 0 && prior.fingerprint != fp {
+		return nil, prior, ErrConfigChanged
+	}
+
+	// The union corpus: prior sequences keep their IDs (the Sequence
+	// records are immutable, so sharing them with the committed set is
+	// safe), new arrivals are appended in submission order.
+	union := &seq.Set{Seqs: append(make([]*seq.Sequence, 0, prior.set.Len()+len(seqs)), prior.set.Seqs...)}
+	for i := range seqs {
+		name := names[i]
+		if name == "" {
+			name = fmt.Sprintf("seq%d", union.Len())
+		}
+		if _, err := union.Add(name, seqs[i]); err != nil {
+			return nil, prior, err
+		}
+	}
+
+	var ep *epochPrior
+	if prior.epoch > 0 {
+		ep = &epochPrior{
+			newFrom:   prior.set.Len(),
+			redundant: prior.redundant,
+			uf:        prior.uf,
+			famCache:  prior.famCache,
+		}
+	}
+
+	cfg = cfg.withAutoThreads(p)
+	var res *Result
+	var post *epochPost
+	var rerr error
+	err := mpi.Run(p, func(c *mpi.Comm) {
+		r, po, e := runEpochPipeline(c, union, cfg, ep)
+		if c.Rank() == 0 {
+			res, post, rerr = r, po, e
+		}
+	})
+	if err != nil {
+		return nil, prior, err
+	}
+	if rerr != nil {
+		return nil, prior, rerr
+	}
+	next := &EpochState{
+		set:         union,
+		redundant:   post.redundant,
+		uf:          post.uf,
+		famCache:    post.famCache,
+		epoch:       prior.epoch + 1,
+		fingerprint: fp,
+	}
+	return res, next, nil
+}

@@ -2,6 +2,7 @@ package pace
 
 import (
 	"container/heap"
+	"fmt"
 	"sort"
 
 	"profam/internal/align"
@@ -169,6 +170,11 @@ type pairSource struct {
 	pos  int
 	seen map[int64]bool
 	raw  int64 // pairs enumerated before local dedup
+	// newFrom > 0 is the incremental-epoch filter: pairs whose sequences
+	// both predate it are settled by the prior state and are skipped at
+	// enumeration (counted in prior), before local dedup.
+	newFrom int32
+	prior   int64
 }
 
 type nodeRef struct {
@@ -176,8 +182,8 @@ type nodeRef struct {
 	i int
 }
 
-func newPairSource(trees []*suffixtree.SubTree) *pairSource {
-	s := &pairSource{seen: make(map[int64]bool)}
+func newPairSource(trees []*suffixtree.SubTree, newFrom int32) *pairSource {
+	s := &pairSource{seen: make(map[int64]bool), newFrom: newFrom}
 	for _, t := range trees {
 		for i := range t.Nodes {
 			s.refs = append(s.refs, nodeRef{t, i})
@@ -203,6 +209,10 @@ func (s *pairSource) next(k int) ([]PairItem, bool) {
 			s.pos = 0
 			r.t.EmitNodePairs(r.i, func(p suffixtree.Pair) bool {
 				s.raw++
+				if s.newFrom > 0 && p.SeqA < s.newFrom && p.SeqB < s.newFrom {
+					s.prior++
+					return true
+				}
 				key := pairKey(p.SeqA, p.SeqB)
 				if !s.seen[key] {
 					s.seen[key] = true
@@ -810,8 +820,10 @@ func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Con
 		}
 		treeDone := c.Time()
 		sp := cfg.Metrics.StartSpan(phase + "/exchange")
-		runSerial(c, set, ms, wl, newPairSource(trees), cfg)
+		src := newPairSource(trees, int32(cfg.NewFrom))
+		runSerial(c, set, ms, wl, src, cfg)
 		sp.End()
+		countPriorPairs(cfg, phase, src)
 		st := ms.ctr.stats()
 		st.TreeTime = treeDone - start
 		st.PhaseTime = c.Time() - start
@@ -838,7 +850,7 @@ func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Con
 	if err != nil {
 		return Stats{}, err
 	}
-	src := newPairSource(trees)
+	src := newPairSource(trees, int32(cfg.NewFrom))
 	if cfg.Lockstep {
 		runWorker(c, set, wl, src, cfg, phase)
 	} else {
@@ -847,12 +859,23 @@ func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Con
 	// The enumerating ranks own the raw-pair counter; the master's Stats
 	// read-out gets the total via the reduction below.
 	cfg.Metrics.Counter(metrics.Name("pace_pairs_raw", "phase", phase)).Add(src.raw)
+	countPriorPairs(cfg, phase, src)
 	c.ReduceInt64(0, src.raw, addInt64)
 	c.MaxFloat64(c.Time())
 	return Stats{}, nil
 }
 
 func addInt64(a, b int64) int64 { return a + b }
+
+// countPriorPairs records how many promising pairs the NewFrom filter
+// suppressed because both sides predate the current epoch. The counter is
+// created lazily so cold runs (NewFrom == 0) export an unchanged metric
+// set.
+func countPriorPairs(cfg Config, phase string, src *pairSource) {
+	if src.prior > 0 {
+		cfg.Metrics.Counter(metrics.Name("pace_pairs_prior", "phase", phase)).Add(src.prior)
+	}
+}
 
 // --- public phase entry points -------------------------------------------
 
@@ -862,8 +885,23 @@ func addInt64(a, b int64) int64 { return a + b }
 // another sequence and should be dropped). Stats are likewise identical
 // on all ranks.
 func RedundancyRemoval(c *mpi.Comm, set *seq.Set, cfg Config) ([]bool, Stats, error) {
+	return RedundancyRemovalFrom(c, set, nil, 0, cfg)
+}
+
+// RedundancyRemovalFrom is the incremental form of RedundancyRemoval:
+// prior (may be nil) is the redundancy verdict from the previous epoch
+// over sequences 0..newFrom-1, and only pairs with at least one side ≥
+// newFrom are aligned. Old-vs-old containment was settled last epoch, so
+// the combined mask matches a cold run whenever no containment chains
+// cross the epoch boundary (see DESIGN.md §9). The returned keep mask
+// covers the whole set on all ranks.
+func RedundancyRemovalFrom(c *mpi.Comm, set *seq.Set, prior []bool, newFrom int, cfg Config) ([]bool, Stats, error) {
 	cfg = cfg.withDefaults()
+	cfg.NewFrom = newFrom
 	ml := &rrMaster{redundant: make([]bool, set.Len())}
+	if prior != nil {
+		copy(ml.redundant, prior)
+	}
 	st, err := runPhase(c, set, ml, rrWorker{params: cfg.Contain, exact: cfg.ExactAlign}, cfg, "rr")
 	if err != nil {
 		return nil, Stats{}, err
@@ -885,20 +923,52 @@ func RedundancyRemoval(c *mpi.Comm, set *seq.Set, cfg Config) ([]bool, Stats, er
 // (labels are the smallest member ID in the component) or -1 for dropped
 // sequences. All ranks return identical results.
 func ConnectedComponents(c *mpi.Comm, set *seq.Set, keep []bool, cfg Config) ([]int32, Stats, error) {
+	comp, _, st, err := ConnectedComponentsFrom(c, set, keep, nil, 0, cfg)
+	return comp, st, err
+}
+
+// ConnectedComponentsFrom is the incremental form of ConnectedComponents:
+// prior (may be nil) is the committed union–find over the kept subset of
+// sequences 0..newFrom-1, and only pairs with at least one side ≥ newFrom
+// are aligned — old-vs-old merges are already encoded in prior. Because a
+// connected-component partition is the transitive closure of its positive
+// pairs and closure is order-invariant, seeding a clone of prior and
+// merging only epoch-crossing pairs yields exactly the cold partition.
+// Alongside comp it returns, on rank 0 only, the resulting union–find
+// over the kept subset (nil on other ranks) so the caller can commit it
+// as the next epoch's prior.
+func ConnectedComponentsFrom(c *mpi.Comm, set *seq.Set, keep []bool, prior *unionfind.UF, newFrom int, cfg Config) ([]int32, *unionfind.UF, Stats, error) {
 	cfg = cfg.withDefaults()
 	// Build the kept-subset view identically on every rank.
 	var ids []int
+	subNew := 0 // sub-space ID that the first new sequence maps to
 	for i := 0; i < set.Len(); i++ {
 		if keep == nil || keep[i] {
 			ids = append(ids, i)
+			if i < newFrom {
+				subNew++
+			}
 		}
 	}
 	sub, orig := set.Subset(ids)
+	// The pair filter operates in the subset's ID space: kept sequences
+	// are renumbered in ascending original order, so IDs < subNew are
+	// exactly the kept prior-epoch sequences. Computed on every rank so
+	// the collective phase sees identical configs.
+	cfg.NewFrom = subNew
 
-	ml := &ccMaster{uf: unionfind.New(sub.Len()), disableFilter: cfg.DisableClosureFilter}
+	uf := unionfind.New(sub.Len())
+	if prior != nil {
+		if prior.Len() != subNew {
+			return nil, nil, Stats{}, fmt.Errorf("pace: prior union-find covers %d sequences, kept prior subset has %d", prior.Len(), subNew)
+		}
+		uf = prior.Clone()
+		uf.Extend(sub.Len())
+	}
+	ml := &ccMaster{uf: uf, disableFilter: cfg.DisableClosureFilter}
 	st, err := runPhase(c, sub, ml, ccWorker{params: cfg.Overlap, exact: cfg.ExactAlign}, cfg, "ccd")
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, nil, Stats{}, err
 	}
 
 	comp := make([]int32, set.Len())
@@ -918,7 +988,11 @@ func ConnectedComponents(c *mpi.Comm, set *seq.Set, keep []bool, cfg Config) ([]
 	}
 	comp = c.Bcast(0, comp).([]int32)
 	st = broadcastStats(c, st)
-	return comp, st, nil
+	var out *unionfind.UF
+	if c.Rank() == 0 {
+		out = ml.uf
+	}
+	return comp, out, st, nil
 }
 
 // broadcastStats shares the master's stats with all ranks.

@@ -118,6 +118,16 @@ type Config struct {
 	// FIFO instead of decreasing match-length order; used by the
 	// ablation benchmarks.
 	RandomPairOrder bool
+	// NewFrom enables the representative-pair generation mode behind
+	// incremental epochs: when > 0, pair sources emit only promising
+	// pairs with at least one sequence ID ≥ NewFrom. IDs below NewFrom
+	// are the previous epoch's sequences — their pairwise outcomes are
+	// already folded into the prior clustering state the caller seeds
+	// the master with (RedundancyRemovalFrom / ConnectedComponentsFrom),
+	// so re-enumerating them would only rediscover settled verdicts. The
+	// suppressed enumeration is counted under pace_pairs_prior. 0 (the
+	// default) emits every pair — the one-shot batch behavior.
+	NewFrom int
 	// ExactAlign disables the seed-anchored alignment cascade and runs
 	// every assigned pair through the full-matrix predicates. Verdicts
 	// are identical either way (the cascade only takes provably-safe

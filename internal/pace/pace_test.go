@@ -328,7 +328,7 @@ func TestPairSourceOrderAndDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := newPairSource(trees)
+	src := newPairSource(trees, 0)
 	var all []PairItem
 	for {
 		batch, done := src.next(2)

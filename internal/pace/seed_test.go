@@ -36,7 +36,7 @@ func TestPairSeedsAreMaximalMatches(t *testing.T) {
 				}
 				trees = append(trees, st)
 			}
-			src := newPairSource(trees)
+			src := newPairSource(trees, 0)
 			checked := 0
 			for {
 				pairs, exhausted := src.next(1024)

@@ -42,6 +42,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Families renders the canonical machine-diffable family listing: the
+// summary line, then one block per family in rank order with the member
+// names. cmd/profam's default output and profamd's text family endpoint
+// share this writer, which is what lets the service e2e gate compare the
+// two with a plain byte diff.
+func Families(w io.Writer, set *seq.Set, res *profam.Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", res.Summary())
+	for fi, fam := range res.Families {
+		fmt.Fprintf(bw, "family %d\tsize=%d\tmean_degree=%.1f\tdensity=%.2f\n",
+			fi, fam.Size(), fam.MeanDegree, fam.Density)
+		for _, id := range fam.Members {
+			fmt.Fprintf(bw, "\t%s\n", set.Get(id).Name)
+		}
+	}
+	return bw.Flush()
+}
+
 // Text writes the report.
 func Text(w io.Writer, set *seq.Set, res *profam.Result, opts Options) error {
 	opts = opts.withDefaults()

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"profam"
+	"profam/internal/metrics"
+	"profam/internal/report"
+	"profam/internal/seq"
+)
+
+// httpError carries an HTTP status with its message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/sequences              ingest (JSON or FASTA body)
+//	GET  /v1/families               family list (?format=text for the canonical listing)
+//	GET  /v1/families/{id}          one family
+//	GET  /v1/sequences/{id}/family  family membership by sequence name or ID
+//	GET  /v1/status                 service state
+//	GET  /healthz                   liveness
+//	GET  /readyz                    readiness (503 once shutdown begins)
+//	GET  /metrics                   Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sequences", s.handleIngest)
+	mux.HandleFunc("GET /v1/families", s.handleFamilies)
+	mux.HandleFunc("GET /v1/families/{id}", s.handleFamily)
+	mux.HandleFunc("GET /v1/sequences/{id}/family", s.handleSequenceFamily)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		rep := metrics.Merge(metrics.LiveSnapshots())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := rep.WritePrometheus(w); err != nil {
+			s.log.Error("metrics endpoint", "err", err)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		status = he.status
+	} else if err == ErrClosed || err == profam.ErrAborted {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ingestRequest is the JSON ingest body.
+type ingestRequest struct {
+	Sequences []struct {
+		Name     string `json:"name"`
+		Residues string `json:"residues"`
+	} `json:"sequences"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var names, seqs []string
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		var req ingestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "bad JSON: " + err.Error()})
+			return
+		}
+		for _, sq := range req.Sequences {
+			names = append(names, sq.Name)
+			seqs = append(seqs, sq.Residues)
+		}
+	} else {
+		// Anything else is treated as FASTA.
+		set, err := seq.ReadFASTA(io.LimitReader(r.Body, 1<<30))
+		if err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "bad FASTA: " + err.Error()})
+			return
+		}
+		for _, sq := range set.Seqs {
+			names = append(names, sq.Name)
+			seqs = append(seqs, string(sq.Res))
+		}
+	}
+	epoch, err := s.Submit(r.Context(), names, seqs)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "sequences": len(seqs)})
+}
+
+// familyJSON is the wire form of one family.
+type familyJSON struct {
+	ID         int      `json:"id"`
+	Size       int      `json:"size"`
+	MeanDegree float64  `json:"mean_degree"`
+	Density    float64  `json:"density"`
+	Members    []string `json:"members"`
+}
+
+func familyToJSON(snap *Snapshot, fi int) familyJSON {
+	f := snap.Res.Families[fi]
+	members := make([]string, len(f.Members))
+	for i, id := range f.Members {
+		members[i] = snap.Set.Get(id).Name
+	}
+	return familyJSON{ID: fi, Size: f.Size(), MeanDegree: f.MeanDegree, Density: f.Density, Members: members}
+}
+
+func (s *Server) handleFamilies(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		writeErr(w, &httpError{http.StatusServiceUnavailable, "no epoch committed yet"})
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := report.Families(w, snap.Set, snap.Res); err != nil {
+			s.log.Error("family listing", "err", err)
+		}
+		return
+	}
+	out := make([]familyJSON, len(snap.Res.Families))
+	for fi := range snap.Res.Families {
+		out[fi] = familyToJSON(snap, fi)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": snap.Epoch, "families": out})
+}
+
+func (s *Server) handleFamily(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		writeErr(w, &httpError{http.StatusServiceUnavailable, "no epoch committed yet"})
+		return
+	}
+	fi, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || fi < 0 || fi >= len(snap.Res.Families) {
+		writeErr(w, &httpError{http.StatusNotFound, fmt.Sprintf("no family %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, familyToJSON(snap, fi))
+}
+
+func (s *Server) handleSequenceFamily(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		writeErr(w, &httpError{http.StatusServiceUnavailable, "no epoch committed yet"})
+		return
+	}
+	key := r.PathValue("id")
+	id, ok := snap.IDByName[key]
+	if !ok {
+		if n, err := strconv.Atoi(key); err == nil && n >= 0 && n < snap.Set.Len() {
+			id = n
+		} else {
+			writeErr(w, &httpError{http.StatusNotFound, fmt.Sprintf("no sequence %q", key)})
+			return
+		}
+	}
+	fi := snap.FamilyOf[id]
+	resp := map[string]any{
+		"sequence": snap.Set.Get(id).Name,
+		"id":       id,
+		"epoch":    snap.Epoch,
+		"family":   fi,
+	}
+	if fi >= 0 {
+		resp["family_detail"] = familyToJSON(snap, fi)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	epoch, sequences, families := 0, 0, 0
+	if snap := s.snap.Load(); snap != nil {
+		epoch, sequences, families = snap.Epoch, snap.Set.Len(), len(snap.Res.Families)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":     epoch,
+		"sequences": sequences,
+		"families":  families,
+		"building":  s.building.Load(),
+		"queued":    len(s.subs),
+	})
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"profam"
+	"profam/internal/seq"
+)
+
+// submission is one POST /v1/sequences request: its sequences ride into
+// an epoch together and the reply channel resolves when that epoch
+// commits (or the submission is rejected). done is buffered so a flush
+// never blocks on a caller that gave up waiting.
+type submission struct {
+	names, seqs []string
+	enq         time.Time
+	done        chan submitReply
+}
+
+type submitReply struct {
+	epoch  int
+	status int // HTTP status when err != nil
+	err    error
+}
+
+// Submit queues the sequences and blocks until the epoch containing
+// them commits, returning the committed epoch number. The bounded queue
+// provides backpressure: when it is full, Submit blocks until the
+// batcher catches up (or ctx/shutdown interrupts).
+func (s *Server) Submit(ctx context.Context, names, seqs []string) (int, error) {
+	if len(seqs) == 0 {
+		return 0, &httpError{http.StatusBadRequest, "no sequences in request"}
+	}
+	if len(names) != len(seqs) {
+		return 0, &httpError{http.StatusBadRequest, "names and sequences length mismatch"}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	s.enqWG.Add(1)
+	s.mu.Unlock()
+
+	sub := &submission{names: names, seqs: seqs, enq: time.Now(), done: make(chan submitReply, 1)}
+	select {
+	case s.subs <- sub:
+		s.enqWG.Done()
+	case <-s.stop:
+		s.enqWG.Done()
+		return 0, ErrClosed
+	case <-ctx.Done():
+		s.enqWG.Done()
+		return 0, ctx.Err()
+	}
+	select {
+	case r := <-sub.done:
+		return r.epoch, r.err
+	case <-ctx.Done():
+		// The batch may still commit later; the buffered done channel
+		// absorbs the orphaned reply.
+		return 0, ctx.Err()
+	}
+}
+
+// loop is the batcher goroutine: it accumulates submissions and flushes
+// them into one incremental epoch when BatchSize sequences are pending
+// or the oldest submission has waited BatchWait. On shutdown it drains
+// whatever is queued through a final flush before exiting.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	var batch []*submission
+	pending := 0
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+		if len(batch) > 0 {
+			s.flush(batch)
+			batch, pending = nil, 0
+		}
+	}
+	for {
+		select {
+		case sub, ok := <-s.subs:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, sub)
+			pending += len(sub.seqs)
+			if timer == nil {
+				timer = time.NewTimer(s.cfg.BatchWait)
+				timeout = timer.C
+			}
+			if pending >= s.cfg.BatchSize {
+				flush()
+			}
+		case <-timeout:
+			flush()
+		}
+	}
+}
+
+// flush validates the batch, runs one incremental epoch over the
+// accepted submissions, publishes the new snapshot, and resolves every
+// reply channel. Rejections (invalid residues, duplicate names) are
+// per-submission: one bad request cannot poison its batch-mates.
+func (s *Server) flush(batch []*submission) {
+	inBatch := make(map[string]bool)
+	var accepted []*submission
+	var names, seqs []string
+	for _, sub := range batch {
+		reject := func(status int, msg string) { sub.done <- submitReply{status: status, err: &httpError{status, msg}} }
+		bad := false
+		for i, res := range sub.seqs {
+			name := sub.names[i]
+			if !seq.Valid(res) {
+				reject(http.StatusBadRequest, fmt.Sprintf("sequence %q has invalid residues or is empty", name))
+				bad = true
+				break
+			}
+			if name != "" && (s.committed[name] || inBatch[name]) {
+				reject(http.StatusConflict, fmt.Sprintf("sequence name %q already exists", name))
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		for _, name := range sub.names {
+			if name != "" {
+				inBatch[name] = true
+			}
+		}
+		accepted = append(accepted, sub)
+		names = append(names, sub.names...)
+		seqs = append(seqs, sub.seqs...)
+	}
+	if len(accepted) == 0 {
+		return
+	}
+
+	s.building.Store(true)
+	defer s.building.Store(false)
+	pcfg := s.cfg.Pipeline
+	pcfg.Abort = s.abort
+	t0 := time.Now()
+	res, next, err := profam.RunEpoch(s.state, names, seqs, s.cfg.Ranks, pcfg)
+	if err != nil {
+		s.reg.Counter("server_epoch_failures").Add(1)
+		s.log.Error("epoch failed", "sequences", len(seqs), "err", err)
+		for _, sub := range accepted {
+			sub.done <- submitReply{status: http.StatusServiceUnavailable, err: err}
+		}
+		return
+	}
+	s.state = next
+	for name := range inBatch {
+		s.committed[name] = true
+	}
+	s.snap.Store(newSnapshot(next, res))
+
+	s.reg.Counter("server_epochs").Add(1)
+	s.reg.Counter("server_sequences_ingested").Add(int64(len(seqs)))
+	s.reg.Histogram("server_batch_size").Observe(int64(len(seqs)))
+	s.reg.Histogram("server_batch_submissions").Observe(int64(len(accepted)))
+	s.reg.Gauge("server_epoch").Set(float64(next.Epoch()))
+	s.reg.Gauge("server_corpus_size").Set(float64(next.NumSequences()))
+	s.reg.Gauge("server_families").Set(float64(len(res.Families)))
+	for _, sub := range accepted {
+		s.reg.Histogram("server_ingest_to_publish_us").Observe(time.Since(sub.enq).Microseconds())
+		sub.done <- submitReply{epoch: next.Epoch()}
+	}
+	s.log.Info("epoch committed",
+		"epoch", next.Epoch(), "new", len(seqs), "corpus", next.NumSequences(),
+		"families", len(res.Families), "build", time.Since(t0).Round(time.Millisecond))
+}

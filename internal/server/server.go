@@ -1,0 +1,159 @@
+// Package server implements profamd's resident clustering service: an
+// HTTP front end over the profam pipeline with batched ingest,
+// incremental epochs, and immutable published snapshots.
+//
+// Submissions to POST /v1/sequences land in a batcher and coalesce into
+// one incremental pipeline epoch per flush (flush on batch size or max
+// wait, backpressure through a bounded queue). Each epoch clusters only
+// the new arrivals against the committed state and publishes a fresh
+// Snapshot by atomic pointer swap; queries keep answering from the old
+// snapshot while the next epoch builds. The determinism contract of
+// profam.RunEpoch guarantees the served families are byte-identical to a
+// cold profam run over the union corpus.
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"profam"
+	"profam/internal/metrics"
+	"profam/internal/trace"
+)
+
+// ErrClosed is returned for submissions after shutdown began.
+var ErrClosed = errors.New("server: shutting down")
+
+// Config holds the service knobs. The zero value is usable.
+type Config struct {
+	// Pipeline is the clustering configuration shared by every epoch.
+	// Family-affecting knobs are fingerprint-locked after the first
+	// epoch (see profam.ErrConfigChanged).
+	Pipeline profam.Config
+	// Ranks is the number of in-process ranks per epoch (default 1).
+	Ranks int
+	// BatchSize flushes the batcher once this many sequences are
+	// pending (default 256).
+	BatchSize int
+	// BatchWait flushes a non-empty batch after this long even if
+	// BatchSize was not reached (default 200ms).
+	BatchWait time.Duration
+	// QueueCap bounds the submission queue; full-queue submissions
+	// block (backpressure) until the batcher catches up (default 64).
+	QueueCap int
+	// Logger receives service logs. nil discards.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 200 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Logger == nil {
+		c.Logger = trace.NopLogger()
+	}
+	return c
+}
+
+// Server is the resident clustering service. Create with New, serve its
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	reg *metrics.Registry
+
+	snap atomic.Pointer[Snapshot]
+
+	subs     chan *submission
+	stop     chan struct{} // closed when Shutdown begins: unblocks enqueuers
+	abort    chan struct{} // closed on forced shutdown: cancels the in-flight epoch
+	loopDone chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	enqWG  sync.WaitGroup
+
+	building atomic.Bool
+
+	// state and committed are owned by the batcher goroutine.
+	state     *profam.EpochState
+	committed map[string]bool
+}
+
+// New starts a Server (its batcher goroutine runs until Shutdown).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	s := &Server{
+		cfg:       cfg,
+		log:       cfg.Logger,
+		reg:       metrics.New(0, func() float64 { return time.Since(start).Seconds() }),
+		subs:      make(chan *submission, cfg.QueueCap),
+		stop:      make(chan struct{}),
+		abort:     make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		state:     profam.NewEpochState(),
+		committed: make(map[string]bool),
+	}
+	// The service registry joins the live set so /metrics merges it with
+	// the per-rank pipeline registries of whatever epoch is in flight.
+	metrics.RegisterLive(s.reg)
+	go s.loop()
+	return s
+}
+
+// Snapshot returns the currently published snapshot (nil before the
+// first epoch commits).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Registry exposes the service metrics registry (for final flushes).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Shutdown drains the service: no new submissions are accepted, queued
+// batches are flushed through their epochs, and the call returns once
+// the batcher has exited. If ctx expires first, the in-flight epoch is
+// aborted (profam.ErrAborted; its partial observability state lands in
+// the metrics/trace failed-run stashes) and remaining batches are
+// rejected. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+		// Every enqueuer either queued its submission or saw stop; after
+		// Wait no goroutine can touch s.subs, so closing it is safe.
+		s.enqWG.Wait()
+		close(s.subs)
+	}
+	select {
+	case <-s.loopDone:
+		metrics.UnregisterLive(s.reg)
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-s.abort: // already closed by an earlier forced Shutdown
+		default:
+			close(s.abort)
+		}
+		s.mu.Unlock()
+		<-s.loopDone
+		metrics.UnregisterLive(s.reg)
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,373 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"profam"
+	"profam/internal/report"
+	"profam/internal/seq"
+	"profam/internal/workload"
+)
+
+func testCorpus(t *testing.T, seed int64) *seq.Set {
+	t.Helper()
+	set, _ := workload.Generate(workload.Params{
+		Families: 3, MeanFamilySize: 8, MeanLength: 90,
+		Divergence: 0.08, ContainedFrac: 0.15, Singletons: 3, Seed: seed,
+	})
+	return set
+}
+
+func fastaBody(set *seq.Set, from, to int) *bytes.Buffer {
+	var b bytes.Buffer
+	for id := from; id < to; id++ {
+		fmt.Fprintf(&b, ">%s\n%s\n", set.Get(id).Name, set.Get(id).Res)
+	}
+	return &b
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, contentType string, body io.Reader) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, body)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// TestServerIngestAndQuery drives the whole surface: multi-wave FASTA
+// ingest, then checks the served text families are byte-identical to a
+// cold profam run over the union corpus and that per-sequence and
+// per-family queries agree with it.
+func TestServerIngestAndQuery(t *testing.T) {
+	set := testCorpus(t, 21)
+	_, ts := newTestServer(t, Config{BatchWait: 10 * time.Millisecond})
+
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d before ingest", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/families"); code != http.StatusServiceUnavailable {
+		t.Fatalf("families before first epoch = %d, want 503", code)
+	}
+
+	mid := set.Len() / 2
+	for _, wave := range [][2]int{{0, mid}, {mid, set.Len()}} {
+		code, out := post(t, ts.URL+"/v1/sequences", "application/x-fasta", fastaBody(set, wave[0], wave[1]))
+		if code != http.StatusOK {
+			t.Fatalf("ingest wave %v = %d (%v)", wave, code, out)
+		}
+	}
+
+	// Cold reference over the union corpus.
+	names := make([]string, set.Len())
+	seqs := make([]string, set.Len())
+	for id := 0; id < set.Len(); id++ {
+		names[id], seqs[id] = set.Get(id).Name, string(set.Get(id).Res)
+	}
+	cold, err := profam.Run(names, seqs, profam.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := report.Families(&want, set, cold); err != nil {
+		t.Fatal(err)
+	}
+
+	code, got := get(t, ts.URL+"/v1/families?format=text")
+	if code != http.StatusOK {
+		t.Fatalf("families text = %d", code)
+	}
+	if string(got) != want.String() {
+		t.Errorf("served families differ from cold run:\n--- cold ---\n%s--- served ---\n%s", want.String(), got)
+	}
+
+	// Per-sequence queries agree with the cold labels.
+	labels := cold.FamilyLabels()
+	for id := 0; id < set.Len(); id += 5 {
+		code, body := get(t, ts.URL+"/v1/sequences/"+set.Get(id).Name+"/family")
+		if code != http.StatusOK {
+			t.Fatalf("sequence query %q = %d", set.Get(id).Name, code)
+		}
+		var resp struct {
+			Family int `json:"family"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Family != labels[id] {
+			t.Errorf("sequence %d: served family %d, cold %d", id, resp.Family, labels[id])
+		}
+	}
+
+	// Family-by-ID round trip.
+	if len(cold.Families) > 0 {
+		code, body := get(t, ts.URL+"/v1/families/0")
+		if code != http.StatusOK {
+			t.Fatalf("family 0 = %d", code)
+		}
+		var f familyJSON
+		if err := json.Unmarshal(body, &f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Size != cold.Families[0].Size() {
+			t.Errorf("family 0 size %d, cold %d", f.Size, cold.Families[0].Size())
+		}
+	}
+
+	if code, body := get(t, ts.URL+"/metrics"); code != http.StatusOK ||
+		!bytes.Contains(body, []byte("server_epochs")) {
+		t.Errorf("metrics endpoint missing server_epochs (code %d)", code)
+	}
+}
+
+// TestServerBatchCoalescing submits many single-sequence requests
+// concurrently and checks they coalesce into far fewer epochs.
+func TestServerBatchCoalescing(t *testing.T) {
+	set := testCorpus(t, 33)
+	s, ts := newTestServer(t, Config{BatchWait: 150 * time.Millisecond, BatchSize: 1 << 20})
+
+	n := min(set.Len(), 12)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"sequences":[{"name":%q,"residues":%q}]}`,
+				set.Get(id).Name, set.Get(id).Res)
+			code, out := post(t, ts.URL+"/v1/sequences", "application/json", strings.NewReader(body))
+			if code != http.StatusOK {
+				t.Errorf("submission %d = %d (%v)", id, code, out)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	snap := s.Snapshot()
+	if snap == nil {
+		t.Fatal("no snapshot after ingest")
+	}
+	if snap.Set.Len() != n {
+		t.Errorf("corpus %d, want %d", snap.Set.Len(), n)
+	}
+	if snap.Epoch >= n {
+		t.Errorf("%d submissions took %d epochs; expected coalescing", n, snap.Epoch)
+	}
+}
+
+// TestServerRejectsBadSubmissions checks per-submission validation:
+// invalid residues 400, duplicate names 409, and that batch-mates of a
+// rejected submission still commit.
+func TestServerRejectsBadSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, Config{BatchWait: 10 * time.Millisecond})
+
+	if code, _ := post(t, ts.URL+"/v1/sequences", "application/json",
+		strings.NewReader(`{"sequences":[{"name":"bad","residues":"MKV123"}]}`)); code != http.StatusBadRequest {
+		t.Errorf("invalid residues = %d, want 400", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/sequences", "application/json",
+		strings.NewReader(`{"sequences":[{"name":"a","residues":"MKVLWAALLGAGARQWEDD"}]}`)); code != http.StatusOK {
+		t.Fatalf("first submission rejected: %d", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/sequences", "application/json",
+		strings.NewReader(`{"sequences":[{"name":"a","residues":"GHIKNNPQRSTVWYACDEF"}]}`)); code != http.StatusConflict {
+		t.Errorf("duplicate name = %d, want 409", code)
+	}
+	if code, _ := post(t, ts.URL+"/v1/sequences", "application/json",
+		strings.NewReader(`{"sequences":[]}`)); code != http.StatusBadRequest {
+		t.Errorf("empty submission = %d, want 400", code)
+	}
+}
+
+// serverHammer is the shared body of the race-hammer tests: writers
+// ingest while readers pound every query endpoint.
+func serverHammer(t *testing.T, writers, queriesPerReader int) {
+	set := testCorpus(t, 77)
+	_, ts := newTestServer(t, Config{BatchWait: 5 * time.Millisecond})
+
+	per := (set.Len() + writers - 1) / writers
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		from, to := w*per, min((w+1)*per, set.Len())
+		if from >= to {
+			continue
+		}
+		wg.Add(1)
+		go func(from, to int) {
+			defer wg.Done()
+			code, out := post(t, ts.URL+"/v1/sequences", "application/x-fasta", fastaBody(set, from, to))
+			if code != http.StatusOK {
+				t.Errorf("ingest [%d,%d) = %d (%v)", from, to, code, out)
+			}
+		}(from, to)
+	}
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			paths := []string{"/v1/families", "/v1/status", "/v1/families/0",
+				"/v1/sequences/" + set.Get(0).Name + "/family", "/readyz", "/metrics"}
+			for q := 0; q < queriesPerReader; q++ {
+				resp, err := http.Get(ts.URL + paths[(q+r)%len(paths)])
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// After the dust settles, the served families must equal a cold run
+	// over whatever arrived (all waves, arrival order unknown but the
+	// corpus content fixed): check corpus size only here; byte identity
+	// is covered by the deterministic tests.
+	code, body := get(t, ts.URL+"/v1/status")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var st struct {
+		Sequences int  `json:"sequences"`
+		Building  bool `json:"building"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sequences != set.Len() {
+		t.Errorf("corpus %d after hammer, want %d", st.Sequences, set.Len())
+	}
+}
+
+// TestServerConcurrentIngestAndQuery is the race hammer: N ingest
+// goroutines and M query goroutines running against one server under
+// -race in CI.
+func TestServerConcurrentIngestAndQuery(t *testing.T) {
+	serverHammer(t, 4, 30)
+}
+
+// TestServerConcurrentIngestAndQueryLong is the extended hammer.
+func TestServerConcurrentIngestAndQueryLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long race hammer skipped in -short mode")
+	}
+	serverHammer(t, 8, 200)
+}
+
+// TestServerGracefulShutdown checks the drain path: submissions queued
+// before Shutdown commit their epochs; submissions after it are
+// rejected with 503.
+func TestServerGracefulShutdown(t *testing.T) {
+	set := testCorpus(t, 55)
+	s := New(Config{BatchWait: time.Hour, BatchSize: 1 << 20}) // only shutdown can flush
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	var out map[string]any
+	go func() {
+		defer wg.Done()
+		code, out = post(t, ts.URL+"/v1/sequences", "application/x-fasta", fastaBody(set, 0, set.Len()))
+	}()
+	// Wait for the submission to be queued, then shut down: the drain
+	// must flush the pending batch through a real epoch.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.subs) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	if code != http.StatusOK {
+		t.Fatalf("queued submission = %d (%v), want commit on drain", code, out)
+	}
+	snap := s.Snapshot()
+	if snap == nil || snap.Set.Len() != set.Len() {
+		t.Fatal("drain did not commit the pending batch")
+	}
+
+	if _, err := s.Submit(context.Background(), []string{"x"}, []string{"MKVLWAALLGAGARQWEDD"}); err != ErrClosed {
+		t.Errorf("submit after shutdown: %v, want ErrClosed", err)
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after shutdown = %d, want 503", code)
+	}
+}
+
+// TestServerForcedShutdownAbortsEpoch checks the mid-epoch cancel: an
+// already-expired drain context closes the abort channel, the in-flight
+// or pending epoch returns ErrAborted, and its submissions get 503. The
+// committed snapshot stays whatever it was.
+func TestServerForcedShutdownAbortsEpoch(t *testing.T) {
+	set := testCorpus(t, 91)
+	s := New(Config{BatchWait: time.Hour, BatchSize: 1 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var code int
+	go func() {
+		defer wg.Done()
+		code, _ = post(t, ts.URL+"/v1/sequences", "application/x-fasta", fastaBody(set, 0, set.Len()))
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.subs) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the drain starts: force the abort path
+	if err := s.Shutdown(ctx); err != context.Canceled {
+		t.Fatalf("forced shutdown err = %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("aborted submission = %d, want 503", code)
+	}
+	if s.Snapshot() != nil {
+		t.Error("aborted epoch published a snapshot")
+	}
+}

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"profam"
+	"profam/internal/seq"
+)
+
+// Snapshot is one committed epoch's immutable query view. It is
+// published by atomic pointer swap when the epoch commits; readers
+// holding an older snapshot keep answering from it unperturbed while
+// the next epoch builds.
+type Snapshot struct {
+	// Epoch is the committed epoch number (1 = first flush).
+	Epoch int
+	// Res is the full pipeline result over the union corpus.
+	Res *profam.Result
+	// Set is the union corpus the result refers to.
+	Set *seq.Set
+	// FamilyOf maps sequence ID to its family index in Res.Families, or
+	// -1 when the sequence is in no family.
+	FamilyOf []int
+	// IDByName resolves sequence names to IDs.
+	IDByName map[string]int
+}
+
+func newSnapshot(st *profam.EpochState, res *profam.Result) *Snapshot {
+	set := st.Set()
+	byName := make(map[string]int, set.Len())
+	for _, sq := range set.Seqs {
+		byName[sq.Name] = sq.ID
+	}
+	return &Snapshot{
+		Epoch:    st.Epoch(),
+		Res:      res,
+		Set:      set,
+		FamilyOf: res.FamilyLabels(),
+		IDByName: byName,
+	}
+}

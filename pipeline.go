@@ -9,6 +9,7 @@ import (
 	"profam/internal/seq"
 	"profam/internal/shingle"
 	"profam/internal/trace"
+	"profam/internal/unionfind"
 )
 
 // secPerShingleOp is the virtual cost of one min-hash evaluation in the
@@ -16,15 +17,18 @@ import (
 const secPerShingleOp = 2.0e-8
 
 // wireFamily is the gob-friendly family representation exchanged between
-// ranks.
+// ranks. Comp is the index of the component the family came from (into
+// the epoch's Components slice) so rank 0 can attribute gathered
+// families to components when building the next epoch's family cache.
 type wireFamily struct {
+	Comp       int32
 	Members    []int32
 	MeanDegree float64
 	Density    float64
 }
 
 // WireSize implements mpi.Sized for the simtime cost model.
-func (w wireFamily) WireSize() int { return 24 + 4*len(w.Members) }
+func (w wireFamily) WireSize() int { return 28 + 4*len(w.Members) }
 
 type familyBatch struct{ Families []wireFamily }
 
@@ -47,11 +51,68 @@ func RegisterWireTypes() {
 	mpi.RegisterType(metrics.Report{})
 	mpi.RegisterType(trace.RankTrace{})
 	mpi.RegisterType(trace.Timeline{})
+	mpi.RegisterType(false) // abort-decision broadcast
+}
+
+// famEntry is one family-cache record: the exact member list of a
+// component from the prior epoch (collision guard for the hash key) and
+// the families phases 3+4 produced for it.
+type famEntry struct {
+	members []int
+	fams    []Family
+}
+
+// epochPrior carries the committed state of the previous epoch into an
+// incremental run. All fields describe the sequence-ID prefix
+// [0, newFrom) of the current set; IDs at or beyond newFrom are the
+// epoch's new arrivals.
+type epochPrior struct {
+	newFrom   int           // first new sequence ID
+	redundant []bool        // prior RR verdicts, len == newFrom
+	uf        *unionfind.UF // prior union–find over the kept prior subset (sub-ID space)
+	famCache  map[uint64]famEntry
+}
+
+// epochPost is the state a successful epoch hands forward, populated on
+// rank 0 only (nil elsewhere).
+type epochPost struct {
+	redundant []bool
+	uf        *unionfind.UF
+	famCache  map[uint64]famEntry
+}
+
+// hashMembers is FNV-1a over a component's member IDs — the family-cache
+// key. Collisions are harmless: lookups verify the full member list.
+func hashMembers(members []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, m := range members {
+		v := uint64(m)
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
 }
 
 // runPipeline executes all four phases collectively on c. Every rank
 // returns the same *Result.
-func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error) {
+func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (*Result, error) {
+	res, _, err := runEpochPipeline(c, set, cfg, nil)
+	return res, err
+}
+
+// runEpochPipeline is the epoch-aware pipeline core. With prior == nil it
+// is a cold run, behaviorally identical to the original runPipeline (the
+// incremental machinery — pair filtering, union–find seeding, the family
+// cache, abort broadcasts — is entirely inert, so metrics and traces of
+// existing callers are unchanged). With a prior it reuses last epoch's
+// verdicts: RR aligns only pairs touching a new sequence on top of the
+// prior redundancy mask, CCD merges epoch-crossing pairs into a clone of
+// the prior union–find, and components whose membership is unchanged skip
+// phases 3+4 via the family cache. Every rank returns the same *Result;
+// rank 0 additionally returns the epochPost to commit (nil elsewhere).
+func runEpochPipeline(c *mpi.Comm, set *seq.Set, cfg Config, prior *epochPrior) (res *Result, post *epochPost, err error) {
 	cfg = cfg.withDefaults()
 
 	// Every rank owns one metrics registry, clocked by its communicator:
@@ -116,13 +177,45 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 
 	res = &Result{NumInput: set.Len()}
 
+	// checkAbort is the phase-boundary cancellation point: rank 0 polls
+	// the channel and broadcasts the verdict so every rank leaves the
+	// collective at the same place. With Abort nil it is a no-op — no
+	// extra messages — so existing jobs keep their exact comm pattern.
+	checkAbort := func() error {
+		if cfg.Abort == nil {
+			return nil
+		}
+		aborted := false
+		if c.Rank() == 0 {
+			select {
+			case <-cfg.Abort:
+				aborted = true
+			default:
+			}
+		}
+		if c.Bcast(0, aborted).(bool) {
+			return ErrAborted
+		}
+		return nil
+	}
+	if err = checkAbort(); err != nil {
+		return nil, nil, err
+	}
+
+	var priorRedundant []bool
+	newFrom := 0
+	if prior != nil {
+		priorRedundant = prior.redundant
+		newFrom = prior.newFrom
+	}
+
 	// Phase 1: redundancy removal.
 	tracer.Instant(trace.CatPipeline, "phase:rr", "", 0, "", 0)
 	rrSpan := reg.StartSpan("rr")
-	keep, rrStats, err := pace.RedundancyRemoval(c, set, pcfg)
+	keep, rrStats, err := pace.RedundancyRemovalFrom(c, set, priorRedundant, newFrom, pcfg)
 	rrSpan.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Keep = keep
 	res.RR = fromPace(rrStats)
@@ -137,13 +230,41 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 			"aligned", rrStats.PairsAligned, "t", c.Time())
 	}
 
+	if err = checkAbort(); err != nil {
+		return nil, nil, err
+	}
+
+	// Incremental CCD is sound only while every previously-kept sequence
+	// stays kept: union–find can merge but never split. If a new arrival
+	// demoted an old sequence (contains it), fall back to a cold CCD for
+	// this epoch. The scan runs on every rank over the broadcast keep
+	// mask, so the fallback decision is collective for free.
+	ccPrior, ccNewFrom := (*unionfind.UF)(nil), 0
+	if prior != nil {
+		demoted := false
+		for i := 0; i < prior.newFrom; i++ {
+			if !prior.redundant[i] && !keep[i] {
+				demoted = true
+				break
+			}
+		}
+		if demoted {
+			if c.Rank() == 0 {
+				reg.Counter("pipeline_epoch_demotions").Add(1)
+				log.Info("prior sequence demoted by new arrival; cold CCD rebuild", "t", c.Time())
+			}
+		} else {
+			ccPrior, ccNewFrom = prior.uf, prior.newFrom
+		}
+	}
+
 	// Phase 2: connected components over the non-redundant set.
 	tracer.Instant(trace.CatPipeline, "phase:ccd", "", 0, "", 0)
 	ccdSpan := reg.StartSpan("ccd")
-	comp, ccStats, err := pace.ConnectedComponents(c, set, keep, pcfg)
+	comp, ccUF, ccStats, err := pace.ConnectedComponentsFrom(c, set, keep, ccPrior, ccNewFrom, pcfg)
 	ccdSpan.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.CCD = fromPace(ccStats)
 	res.Components = pace.ComponentsBySize(comp, cfg.MinComponentSize)
@@ -153,13 +274,53 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 			"aligned", ccStats.PairsAligned, "t", c.Time())
 	}
 
+	if err = checkAbort(); err != nil {
+		return nil, nil, err
+	}
+
+	// Family cache: a component whose membership is unchanged from the
+	// prior epoch must produce byte-identical families (phases 3+4 are a
+	// pure function of the members and the config, and incremental runs
+	// are fingerprint-guarded), so its cached result is reused and only
+	// the remaining components are recomputed. Rank 0 owns the cache and
+	// broadcasts the hit mask; component indices below are into
+	// res.Components throughout.
+	hit := make([]bool, len(res.Components))
+	var cachedFams [][]Family // rank 0 only, indexed like res.Components
+	if prior != nil && prior.famCache != nil {
+		if c.Rank() == 0 {
+			cachedFams = make([][]Family, len(res.Components))
+			hits := int64(0)
+			for i, members := range res.Components {
+				e, ok := prior.famCache[hashMembers(members)]
+				if ok && equalMembers(e.members, members) {
+					hit[i] = true
+					cachedFams[i] = e.fams
+					hits++
+				}
+			}
+			if hits > 0 {
+				reg.Counter("pipeline_components_cached").Add(hits)
+			}
+		}
+		hit = c.Bcast(0, hit).([]bool)
+	}
+	missIdx := make([]int, 0, len(res.Components))
+	missComps := make([][]int, 0, len(res.Components))
+	for i, members := range res.Components {
+		if !hit[i] {
+			missIdx = append(missIdx, i)
+			missComps = append(missComps, members)
+		}
+	}
+
 	// Phases 3+4: per component, build the bipartite reduction and run
 	// the Shingle algorithm. Components are distributed across all ranks
 	// (batched by estimated cost), processed independently — no
 	// communication until the final gather, exactly as the paper argues
 	// dense subgraphs cannot span components.
 	tracer.Instant(trace.CatPipeline, "phase:bgg", "", 0, "", 0)
-	own := bipartite.DistributeComponents(res.Components, c.Size())
+	own := bipartite.DistributeComponents(missComps, c.Size())
 	bcfg := cfg.bipartiteConfig()
 	sp := cfg.shingleParams()
 	mine := own[c.Rank()]
@@ -188,7 +349,7 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 	t0 := c.Time()
 	pool.RunObserved(threads, len(mine), compObs, func(i int) {
 		j := &jobs[i]
-		members := res.Components[mine[i]]
+		members := missComps[mine[i]]
 		reg.Histogram("pipeline_component_size").Observe(int64(len(members)))
 		var g *bipartite.Graph
 		switch cfg.Reduction {
@@ -212,6 +373,7 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 		for _, d := range subs {
 			reg.Histogram("pipeline_family_size").Observe(int64(len(d.Members)))
 			j.fams = append(j.fams, wireFamily{
+				Comp:       int32(missIdx[mine[i]]),
 				Members:    d.Members,
 				MeanDegree: d.MeanDegree,
 				Density:    d.Density,
@@ -231,7 +393,7 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 	for i := range jobs {
 		j := &jobs[i]
 		if j.err != nil {
-			return nil, j.err
+			return nil, nil, j.err
 		}
 		cells += j.cells
 		pairs += j.pairs
@@ -279,17 +441,35 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 	tracer.Instant(trace.CatPipeline, "phase:dsd", "", 0, "", 0)
 	reg.RecordSpan("dsd", t0+bggTime, t0+bggTime+dsdTime)
 
-	// Gather families at rank 0, then share the final list.
+	// Gather families at rank 0, then share the final list. Cached
+	// families join on rank 0 before the broadcast; sortFamilies below is
+	// a pure function of the family set, so the cached/recomputed
+	// interleaving cannot perturb the output order.
 	gathered := c.Gather(0, familyBatch{Families: local})
 	var all []wireFamily
 	if c.Rank() == 0 {
 		for _, g := range gathered {
 			all = append(all, g.(familyBatch).Families...)
 		}
+		for ci, fams := range cachedFams {
+			for _, f := range fams {
+				w := wireFamily{
+					Comp:       int32(ci),
+					Members:    make([]int32, len(f.Members)),
+					MeanDegree: f.MeanDegree,
+					Density:    f.Density,
+				}
+				for i, id := range f.Members {
+					w.Members[i] = int32(id)
+				}
+				all = append(all, w)
+			}
+		}
 	}
 	all = c.Bcast(0, familyBatch{Families: all}).(familyBatch).Families
 
 	res.Families = make([]Family, 0, len(all))
+	perComp := map[int][]Family{} // rank 0: component index → its families
 	for _, w := range all {
 		f := Family{
 			Members:    make([]int, len(w.Members)),
@@ -300,8 +480,29 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 			f.Members[i] = int(id)
 		}
 		res.Families = append(res.Families, f)
+		if c.Rank() == 0 {
+			perComp[int(w.Comp)] = append(perComp[int(w.Comp)], f)
+		}
 	}
 	sortFamilies(res.Families)
+
+	// Commit state for the next epoch on rank 0: the full redundancy
+	// verdict, the kept-subset union–find, and a family cache entry per
+	// component (including family-less ones — their absence of families
+	// is itself a reusable result).
+	if c.Rank() == 0 {
+		redundant := make([]bool, len(keep))
+		for i, k := range keep {
+			redundant[i] = !k
+		}
+		famCache := make(map[uint64]famEntry, len(res.Components))
+		for i, members := range res.Components {
+			fams := perComp[i]
+			sortFamilies(fams)
+			famCache[hashMembers(members)] = famEntry{members: members, fams: fams}
+		}
+		post = &epochPost{redundant: redundant, uf: ccUF, famCache: famCache}
+	}
 
 	res.BGGTime = c.MaxFloat64(bggTime)
 	res.DSDTime = c.MaxFloat64(dsdTime)
@@ -359,7 +560,20 @@ func runPipeline(c *mpi.Comm, set *seq.Set, cfg Config) (res *Result, err error)
 	} else if c.Rank() == 0 {
 		log.Info("pipeline done", "families", len(res.Families), "t", c.Time())
 	}
-	return res, nil
+	return res, post, nil
+}
+
+// equalMembers reports whether two sorted member lists are identical.
+func equalMembers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // RunPipelineOn executes the pipeline collectively on an existing

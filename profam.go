@@ -157,6 +157,15 @@ type Config struct {
 	// debug level), stamped with the rank clock — virtual seconds under
 	// RunSimulated. nil discards.
 	Logger *slog.Logger
+
+	// Abort, when non-nil, lets the caller cancel a running job: the
+	// pipeline polls it at phase boundaries (after RR, CCD, and BGG/DSD)
+	// and returns ErrAborted once it is closed. The decision is taken on
+	// rank 0 and broadcast, so every rank exits the same phase and the
+	// error-path observability (metrics/trace stashing) still runs
+	// collectively. nil (the default) disables the checks entirely and
+	// leaves the message pattern of existing jobs untouched.
+	Abort <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -206,6 +215,21 @@ func (c Config) withDefaults() Config {
 		c.Seed = 20081117
 	}
 	return c
+}
+
+// epochFingerprint canonicalizes every knob that influences family
+// output. Incremental epochs refuse to extend state built under a
+// different fingerprint: the determinism contract (incremental ==
+// byte-identical to cold) only holds when all epochs agree on these.
+// Execution-shape knobs (threads, batching, protocol, kernels, index)
+// are deliberately excluded — families are certified identical across
+// them.
+func (c Config) epochFingerprint() string {
+	d := c.withDefaults()
+	return fmt.Sprintf("psi=%d ci=%g cc=%g os=%g oc=%g es=%g red=%d w=%d s1=%d c1=%d s2=%d c2=%d tau=%g mc=%d mf=%d seed=%d",
+		d.Psi, d.ContainIdentity, d.ContainCoverage, d.OverlapSimilarity, d.OverlapCoverage,
+		d.EdgeSimilarity, d.Reduction, d.W, d.S1, d.C1, d.S2, d.C2, d.Tau,
+		d.MinComponentSize, d.MinFamilySize, d.Seed)
 }
 
 func (c Config) paceConfig() pace.Config {
@@ -519,15 +543,23 @@ func simulateSet(set *seq.Set, p int, cfg Config) (*Result, float64, error) {
 	return res, makespan, rerr
 }
 
-// sortFamilies orders families largest-first with deterministic ties.
+// sortFamilies orders families largest-first with deterministic ties:
+// equal-size families compare lexicographically on their (ascending)
+// member lists, so the order is a pure function of the family set and
+// independent of discovery order — required for the incremental ==
+// cold byte-identity contract, where cached and recomputed families
+// arrive interleaved.
 func sortFamilies(fams []Family) {
 	sort.Slice(fams, func(i, j int) bool {
-		if len(fams[i].Members) != len(fams[j].Members) {
-			return len(fams[i].Members) > len(fams[j].Members)
+		mi, mj := fams[i].Members, fams[j].Members
+		if len(mi) != len(mj) {
+			return len(mi) > len(mj)
 		}
-		if len(fams[i].Members) == 0 {
-			return false
+		for k := range mi {
+			if mi[k] != mj[k] {
+				return mi[k] < mj[k]
+			}
 		}
-		return fams[i].Members[0] < fams[j].Members[0]
+		return false
 	})
 }
