@@ -205,12 +205,12 @@ func BenchmarkPsi(b *testing.B) {
 	}
 }
 
-// BenchmarkIndexKind compares the two maximal-match index
-// implementations (generalized suffix tree vs enhanced suffix array)
-// driving the same CCD phase.
+// BenchmarkIndexKind compares the pair-generation backends (generalized
+// suffix tree, enhanced suffix array, streamed sparse multiply) driving
+// the same CCD phase.
 func BenchmarkIndexKind(b *testing.B) {
 	set, _ := experiments.SetOfSize(300, 15)
-	for _, kind := range []pace.IndexKind{pace.IndexGST, pace.IndexESA} {
+	for _, kind := range []pace.IndexKind{pace.IndexGST, pace.IndexESA, pace.IndexSparse} {
 		b.Run(kind.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, err := mpi.RunSim(1, mpi.CostModel{}, func(c *mpi.Comm) {

@@ -68,8 +68,12 @@ type fileFormat struct {
 	// is the same ratio on the full containment cascade (AlignCascadeScalar
 	// vs AlignCascade at threads=1), where the bit-parallel reject bound
 	// and profile reuse also contribute.
-	KernelSpeedup        float64            `json:"kernel_speedup,omitempty"`
-	CascadeKernelSpeedup float64            `json:"cascade_kernel_speedup,omitempty"`
+	KernelSpeedup        float64 `json:"kernel_speedup,omitempty"`
+	CascadeKernelSpeedup float64 `json:"cascade_kernel_speedup,omitempty"`
+	// SparsePeakBytesRatio is ESA/sparse peak index bytes on a large
+	// corpus (work checksum, not timing) — the memory win the sparse
+	// pair backend exists to deliver. The run fails if it is ≤ 1.
+	SparsePeakBytesRatio float64            `json:"sparse_peak_bytes_ratio,omitempty"`
 	Benchmarks           map[string]float64 `json:"benchmarks_ns_per_op"`
 }
 
@@ -215,6 +219,36 @@ func main() {
 			}
 		}
 	})
+	// PipelineSparse mirrors PipelineThreads/threads=1 on the sparse
+	// pair backend; its ratio against the untraced GST kernel is the
+	// end-to-end cost of the streamed multiply.
+	record("PipelineSparse/threads=1", func(b *testing.B) {
+		cfg := experiments.PipelineConfig()
+		cfg.ThreadsPerRank = 1
+		cfg.Pairs = profam.PairsSparse
+		for i := 0; i < b.N; i++ {
+			if _, _, err := profam.RunSet(pipeSet, 2, false, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The pair-generation kernels isolate the candidate-pair index+
+	// enumeration hot path (no alignment, no transport) on the two
+	// non-default backends over the same corpus and ψ.
+	record("PairGenESA/threads=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.PairGenESAKernel(pipeSet, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("PairGenSparse/threads=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.PairGenSparseKernel(pipeSet, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	// PipelineTraced mirrors PipelineThreads/threads=1 with event tracing
 	// on; its ratio against the untraced kernel is the tracing overhead.
 	record("PipelineTraced/threads=1", func(b *testing.B) {
@@ -318,6 +352,21 @@ func main() {
 	}
 	payload.TCPWireBytesRatio = wireRatio
 	log.Printf("tcp wire bytes gob/binary: %.2fx", wireRatio)
+	// Peak index memory, ESA vs sparse, on a corpus large enough that
+	// the largest single CSR block sits well below the summed subtrees.
+	// Deterministic arithmetic over the bucket list — no noise guard —
+	// and a hard gate: the sparse backend's whole reason to exist is
+	// peaking lower than the resident-tree backends.
+	memSet, _ := experiments.SetOfSize(1500, 53)
+	esaBytes, sparseBytes, memRatio, err := experiments.SparsePeakBytesRatio(memSet, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload.SparsePeakBytesRatio = memRatio
+	log.Printf("peak index bytes esa/sparse: %d / %d = %.2fx", esaBytes, sparseBytes, memRatio)
+	if memRatio <= 1.0 {
+		log.Fatalf("sparse peak index bytes (%d) not below ESA (%d); ratio %.2f <= 1.0", sparseBytes, esaBytes, memRatio)
+	}
 
 	if *compare != "" {
 		os.Exit(compareBaseline(*compare, payload, *tolerance, *traceTol, noise, explicitOut(), *out))

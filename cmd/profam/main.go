@@ -103,7 +103,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	sim := fs.Bool("sim", false, "run on the virtual-time simulator instead of goroutine ranks")
 	reduction := fs.String("reduction", "global", "bipartite reduction: global (B_d) or domain (B_m)")
 	truthPath := fs.String("truth", "", "optional truth TSV (from datagen) to score the clustering against")
-	useESA := fs.Bool("esa", false, "index with an enhanced suffix array instead of the suffix tree")
+	pairs := fs.String("pairs", "gst", "promising-pair backend: gst (generalized suffix tree), esa (enhanced suffix array) or sparse (streamed k-mer matrix multiply); families are identical across backends")
+	useESA := fs.Bool("esa", false, "deprecated alias for -pairs=esa")
 	jsonOut := fs.Bool("json", false, "write families as JSON instead of text")
 	reportPath := fs.String("report", "", "write a full text report (summary, histogram, MSA blocks) to this file")
 	metricsOut := fs.String("metrics-out", "", "write the merged metrics report (counters, gauges, histograms, phase spans) as JSON to this file (- for stdout) and print a summary table")
@@ -159,7 +160,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -reduction %q (want global or domain)", *reduction)
 	}
-	cfg.UseESA = *useESA
+	backend, err := resolvePairBackend(fs, *pairs, *useESA)
+	if err != nil {
+		return err
+	}
+	cfg.Pairs = backend
 	switch *wire {
 	case "binary":
 		mpi.SetWireFormat(mpi.WireBinary)
@@ -424,4 +429,27 @@ func writeTo(path string, stdout io.Writer, f func(io.Writer) error) error {
 		return err
 	}
 	return file.Close()
+}
+
+// resolvePairBackend merges the -pairs selector with the deprecated
+// -esa alias: -esa alone maps to -pairs=esa, and combining -esa with a
+// conflicting explicit -pairs value is rejected.
+func resolvePairBackend(fs *flag.FlagSet, pairs string, useESA bool) (profam.PairBackend, error) {
+	b, err := profam.ParsePairBackend(pairs)
+	if err != nil {
+		return b, err
+	}
+	if !useESA {
+		return b, nil
+	}
+	explicit := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "pairs" {
+			explicit = true
+		}
+	})
+	if explicit && b != profam.PairsESA {
+		return b, fmt.Errorf("-esa conflicts with -pairs=%s (drop -esa; it is a deprecated alias for -pairs=esa)", b)
+	}
+	return profam.PairsESA, nil
 }

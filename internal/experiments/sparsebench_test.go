@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// The two pair-generation kernels enumerate the same candidate set, so
+// their deduplicated pair counts must coincide; and the sparse peak
+// must sit below the ESA sum even on a modest corpus.
+func TestSparseBenchKernels(t *testing.T) {
+	set, _ := SetOfSize(300, 47)
+	esaPairs, err := PairGenESAKernel(set, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparsePairs, err := PairGenSparseKernel(set, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esaPairs == 0 || esaPairs != sparsePairs {
+		t.Fatalf("pair counts diverge: esa=%d sparse=%d", esaPairs, sparsePairs)
+	}
+	esaBytes, sparseBytes, ratio, err := SparsePeakBytesRatio(set, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esaBytes <= 0 || sparseBytes <= 0 {
+		t.Fatalf("degenerate footprints: esa=%d sparse=%d", esaBytes, sparseBytes)
+	}
+	if ratio <= 1.0 {
+		t.Fatalf("sparse peak (%d) not below ESA (%d): ratio %.2f", sparseBytes, esaBytes, ratio)
+	}
+}

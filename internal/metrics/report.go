@@ -238,6 +238,11 @@ func (r *Report) GaugeValue(name string) float64 {
 	return r.Gauges[name]
 }
 
+// HeapPeakGauge is the pipeline's phase-boundary runtime.MemStats probe.
+// Unlike every other gauge it is machine-derived (GC timing, allocator
+// state) rather than work-derived, so Canonical strips it.
+const HeapPeakGauge = "pipeline_heap_peak_bytes"
+
 // Canonical returns a deep copy with every clock-derived field zeroed
 // and phases re-sorted by name — the representation that is identical
 // across thread counts under the simulator (work counters and shapes
@@ -253,6 +258,7 @@ func (r *Report) Canonical() *Report {
 		Gauges:     copyMap(r.Gauges),
 		Histograms: map[string]HistogramSnapshot{},
 	}
+	delete(out.Gauges, HeapPeakGauge)
 	for n, h := range r.Histograms {
 		out.Histograms[n] = mergeHist(HistogramSnapshot{}, h)
 	}
@@ -267,6 +273,7 @@ func (r *Report) Canonical() *Report {
 			Gauges:     copyMap(s.Gauges),
 			Histograms: map[string]HistogramSnapshot{},
 		}
+		delete(cs.Gauges, HeapPeakGauge)
 		for n, h := range s.Histograms {
 			cs.Histograms[n] = mergeHist(HistogramSnapshot{}, h)
 		}

@@ -51,10 +51,17 @@ type phaseCounters struct {
 	base        Stats
 }
 
-func newPhaseCounters(reg *metrics.Registry, phase string) phaseCounters {
+// rawPairsName labels the raw-pair counter with the enumerating
+// backend, so runs are attributable (and comparable) per backend. The
+// same name must be used by the worker ranks that own the counter.
+func rawPairsName(backend, phase string) string {
+	return metrics.Name("pace_pairs_raw", "backend", backend, "phase", phase)
+}
+
+func newPhaseCounters(reg *metrics.Registry, phase, backend string) phaseCounters {
 	l := func(n string) string { return metrics.Name(n, "phase", phase) }
 	pc := phaseCounters{
-		raw:          reg.Counter(l("pace_pairs_raw")),
+		raw:          reg.Counter(rawPairsName(backend, phase)),
 		generated:    reg.Counter(l("pace_pairs_generated")),
 		duplicate:    reg.Counter(l("pace_pairs_duplicate")),
 		closure:      reg.Counter(l("pace_pairs_closure")),
@@ -279,7 +286,7 @@ func newMasterState(logic masterLogic, cfg Config, phase string) *masterState {
 	return &masterState{
 		pending: taskHeap{fifo: cfg.RandomPairOrder},
 		seen:    make(map[int64]bool),
-		ctr:     newPhaseCounters(cfg.Metrics, phase),
+		ctr:     newPhaseCounters(cfg.Metrics, phase, cfg.Index.String()),
 		logic:   logic,
 		cfg:     cfg,
 	}
@@ -629,7 +636,7 @@ func workerCaches(cfg Config) (*pool.AlignerCache, *pool.ProfileCache) {
 }
 
 // runWorker drives the lockstep worker loop on ranks 1..p-1.
-func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg Config, phase string) {
+func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src pairProvider, cfg Config, phase string) {
 	sp := cfg.Metrics.StartSpan(phase + "/exchange")
 	defer sp.End()
 	tr := cfg.Trace
@@ -688,7 +695,7 @@ func runWorker(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg C
 // the alignment costs no overlap while making its piggybacked outcomes
 // as fresh as a dedicated report message would be — without doubling
 // the phase's message count.
-func runWorkerOverlap(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource, cfg Config, phase string) {
+func runWorkerOverlap(c *mpi.Comm, set *seq.Set, wl workerLogic, src pairProvider, cfg Config, phase string) {
 	sp := cfg.Metrics.StartSpan(phase + "/exchange")
 	defer sp.End()
 	tr := cfg.Trace
@@ -748,7 +755,7 @@ func runWorkerOverlap(c *mpi.Comm, set *seq.Set, wl workerLogic, src *pairSource
 
 // runSerial executes a whole phase on a single rank: pairs are consumed
 // in decreasing match-length order with the same filtering policy.
-func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src *pairSource, cfg Config) {
+func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src pairProvider, cfg Config) {
 	al := align.NewAligner(cfg.Scoring)
 	if cfg.ScalarKernels {
 		al.Kernels = align.KernelScalar
@@ -784,7 +791,8 @@ func runSerial(c *mpi.Comm, set *seq.Set, ms *masterState, wl workerLogic, src *
 		ms.cfg.Log.Debug("serial round",
 			"phase", phase, "round", round, "merges", ms.merges, "t", c.Time())
 		if exhausted {
-			ms.ctr.raw.Add(src.raw)
+			raw, _ := src.counts()
+			ms.ctr.raw.Add(raw)
 			return
 		}
 	}
@@ -814,13 +822,15 @@ func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Con
 		for i := range own {
 			own[i] = i
 		}
-		trees, err := buildTrees(c, set, own, buckets, cfg, phase)
+		src, err := newSource(c, set, own, buckets, cfg, phase)
 		if err != nil {
 			return Stats{}, err
 		}
+		// The sparse backend builds its blocks lazily inside the
+		// exchange, so its TreeTime stays ~0 — index cost shows up in
+		// PhaseTime and the pace_index_chars counter instead.
 		treeDone := c.Time()
 		sp := cfg.Metrics.StartSpan(phase + "/exchange")
-		src := newPairSource(trees, int32(cfg.NewFrom))
 		runSerial(c, set, ms, wl, src, cfg)
 		sp.End()
 		countPriorPairs(cfg, phase, src)
@@ -846,11 +856,10 @@ func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Con
 		st.PhaseTime = c.MaxFloat64(c.Time()) - start
 		return st, nil
 	}
-	trees, err := buildTrees(c, set, assign[c.Rank()-1], buckets, cfg, phase)
+	src, err := newSource(c, set, assign[c.Rank()-1], buckets, cfg, phase)
 	if err != nil {
 		return Stats{}, err
 	}
-	src := newPairSource(trees, int32(cfg.NewFrom))
 	if cfg.Lockstep {
 		runWorker(c, set, wl, src, cfg, phase)
 	} else {
@@ -858,9 +867,10 @@ func runPhase(c *mpi.Comm, set *seq.Set, ml masterLogic, wl workerLogic, cfg Con
 	}
 	// The enumerating ranks own the raw-pair counter; the master's Stats
 	// read-out gets the total via the reduction below.
-	cfg.Metrics.Counter(metrics.Name("pace_pairs_raw", "phase", phase)).Add(src.raw)
+	raw, _ := src.counts()
+	cfg.Metrics.Counter(rawPairsName(cfg.Index.String(), phase)).Add(raw)
 	countPriorPairs(cfg, phase, src)
-	c.ReduceInt64(0, src.raw, addInt64)
+	c.ReduceInt64(0, raw, addInt64)
 	c.MaxFloat64(c.Time())
 	return Stats{}, nil
 }
@@ -871,9 +881,9 @@ func addInt64(a, b int64) int64 { return a + b }
 // suppressed because both sides predate the current epoch. The counter is
 // created lazily so cold runs (NewFrom == 0) export an unchanged metric
 // set.
-func countPriorPairs(cfg Config, phase string, src *pairSource) {
-	if src.prior > 0 {
-		cfg.Metrics.Counter(metrics.Name("pace_pairs_prior", "phase", phase)).Add(src.prior)
+func countPriorPairs(cfg Config, phase string, src pairProvider) {
+	if _, prior := src.counts(); prior > 0 {
+		cfg.Metrics.Counter(metrics.Name("pace_pairs_prior", "phase", phase)).Add(prior)
 	}
 }
 

@@ -60,11 +60,19 @@ const (
 	// IndexESA uses the enhanced suffix array (internal/esa), which
 	// produces the identical pair set with a flatter memory profile.
 	IndexESA
+	// IndexSparse uses the streamed sparse k-mer × sequence multiply
+	// (internal/spgemm): the identical candidate pair set at default
+	// thresholds, holding only one bucket's CSR block in memory at a
+	// time instead of every subtree of the rank's assignment.
+	IndexSparse
 )
 
 func (k IndexKind) String() string {
-	if k == IndexESA {
+	switch k {
+	case IndexESA:
 		return "esa"
+	case IndexSparse:
+		return "sparse"
 	}
 	return "gst"
 }
@@ -78,6 +86,20 @@ type Config struct {
 	Index IndexKind
 	// PrefixLen is the suffix-tree bucketing granularity (default 2).
 	PrefixLen int
+	// SparseBlockNNZ bounds the postings gathered into one accumulator
+	// block of the IndexSparse multiply (default 4096). Block size only
+	// affects batching and memory, never the emitted pair set.
+	SparseBlockNNZ int
+	// SparseMinShared is the IndexSparse shared-k-mer count a pair must
+	// reach within one block to become a candidate. The default 1 (any
+	// shared ψ-mer) is the setting under which the sparse candidate set
+	// equals the GST/ESA maximal-match pair set; higher values trade
+	// recall for pair volume.
+	SparseMinShared int
+	// SparseMaxRowOcc caps the distinct sequences one ψ-mer row of the
+	// IndexSparse matrix may touch (low-complexity blowup control).
+	// 0 (the default) disables the cap, preserving backend equivalence.
+	SparseMaxRowOcc int
 	// BatchPairs is how many promising pairs a worker ships to the
 	// master per round (default 4096).
 	BatchPairs int
@@ -168,6 +190,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchPairs == 0 {
 		c.BatchPairs = 4096
+	}
+	if c.SparseBlockNNZ == 0 {
+		c.SparseBlockNNZ = 4096
+	}
+	if c.SparseMinShared == 0 {
+		c.SparseMinShared = 1
 	}
 	if c.BatchTasks == 0 {
 		c.BatchTasks = 512

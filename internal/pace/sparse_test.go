@@ -1,0 +1,74 @@
+package pace
+
+import (
+	"testing"
+)
+
+// TestSparseIndexMatchesGST: the sparse multiply must drive the phases
+// to the same clustering results as the tree indexes. Raw pair counts
+// are deliberately NOT compared — the tree backends count maximal-match
+// occurrences (with a left-maximality skip), the sparse backend counts
+// distinct-sequence pairs per k-mer row — but the candidate *set*, and
+// therefore every phase outcome, is identical.
+func TestSparseIndexMatchesGST(t *testing.T) {
+	set, _ := famSet(t)
+	gst := Config{Psi: 6}
+	sp := Config{Psi: 6, Index: IndexSparse}
+
+	keepG, _ := runRR(t, set, gst, 1)
+	keepS, stS := runRR(t, set, sp, 1)
+	for i := range keepG {
+		if keepG[i] != keepS[i] {
+			t.Fatalf("keep[%d] differs between GST and sparse", i)
+		}
+	}
+	if stS.PairsRaw == 0 {
+		t.Error("sparse run reported zero raw pairs")
+	}
+
+	compG, _ := runCCD(t, set, keepG, gst, 1)
+	compS, _ := runCCD(t, set, keepS, sp, 1)
+	if !samePartition(compG, compS) {
+		t.Error("components differ between GST and sparse")
+	}
+
+	// Parallel sparse must agree with serial sparse, and the raw count
+	// (per-row arithmetic) must be partition-invariant across ranks.
+	for _, p := range []int{2, 4} {
+		keepP, stP := runRR(t, set, sp, p)
+		for i := range keepS {
+			if keepS[i] != keepP[i] {
+				t.Fatalf("p=%d sparse keep[%d] differs", p, i)
+			}
+		}
+		if stP.PairsRaw != stS.PairsRaw {
+			t.Errorf("p=%d sparse raw count %d, serial %d", p, stP.PairsRaw, stS.PairsRaw)
+		}
+		compP, _ := runCCD(t, set, keepP, sp, p)
+		if !samePartition(compS, compP) {
+			t.Errorf("p=%d sparse components differ from serial", p)
+		}
+	}
+}
+
+// TestSparseKnobsStillConverge: a tiny accumulator block and a generous
+// occupancy cap must not change the clustering outcome (block bounds
+// are batching only; the cap only kicks in above its threshold).
+func TestSparseKnobsStillConverge(t *testing.T) {
+	set, _ := famSet(t)
+	ref := Config{Psi: 6}
+	sp := Config{Psi: 6, Index: IndexSparse, SparseBlockNNZ: 64, SparseMaxRowOcc: set.Len()}
+
+	keepG, _ := runRR(t, set, ref, 1)
+	keepS, _ := runRR(t, set, sp, 2)
+	for i := range keepG {
+		if keepG[i] != keepS[i] {
+			t.Fatalf("keep[%d] differs under sparse knobs", i)
+		}
+	}
+	compG, _ := runCCD(t, set, keepG, ref, 1)
+	compS, _ := runCCD(t, set, keepS, sp, 2)
+	if !samePartition(compG, compS) {
+		t.Error("components differ under sparse knobs")
+	}
+}

@@ -1,6 +1,8 @@
 package profam
 
 import (
+	"runtime"
+
 	"profam/internal/bipartite"
 	"profam/internal/metrics"
 	"profam/internal/mpi"
@@ -217,6 +219,7 @@ func runEpochPipeline(c *mpi.Comm, set *seq.Set, cfg Config, prior *epochPrior) 
 	if err != nil {
 		return nil, nil, err
 	}
+	probeHeapPeak(c, reg)
 	res.Keep = keep
 	res.RR = fromPace(rrStats)
 	for _, k := range keep {
@@ -266,6 +269,7 @@ func runEpochPipeline(c *mpi.Comm, set *seq.Set, cfg Config, prior *epochPrior) 
 	if err != nil {
 		return nil, nil, err
 	}
+	probeHeapPeak(c, reg)
 	res.CCD = fromPace(ccStats)
 	res.Components = pace.ComponentsBySize(comp, cfg.MinComponentSize)
 	if c.Rank() == 0 {
@@ -440,6 +444,7 @@ func runEpochPipeline(c *mpi.Comm, set *seq.Set, cfg Config, prior *epochPrior) 
 	reg.RecordSpan("bgg", t0, t0+bggTime)
 	tracer.Instant(trace.CatPipeline, "phase:dsd", "", 0, "", 0)
 	reg.RecordSpan("dsd", t0+bggTime, t0+bggTime+dsdTime)
+	probeHeapPeak(c, reg)
 
 	// Gather families at rank 0, then share the final list. Cached
 	// families join on rank 0 before the broadcast; sortFamilies below is
@@ -609,4 +614,19 @@ func RunSet(set *seq.Set, p int, simulate bool, cfg Config) (*Result, float64, e
 		return nil, 0, err
 	}
 	return res, span, rerr
+}
+
+// probeHeapPeak samples the process heap at a phase boundary into the
+// pipeline_heap_peak_bytes max-gauge — the coarse machine-derived
+// companion to the work-derived pace_index_bytes series. Rank 0 only:
+// in-process ranks share one heap, so one sampler suffices. The value
+// depends on GC timing, not on work done, so metrics.Report.Canonical
+// strips this gauge; determinism contracts are unaffected.
+func probeHeapPeak(c *mpi.Comm, reg *metrics.Registry) {
+	if c.Rank() != 0 {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(metrics.HeapPeakGauge).SetMax(float64(ms.HeapAlloc))
 }

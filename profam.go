@@ -59,6 +59,47 @@ func (r Reduction) String() string {
 	return "domain-based"
 }
 
+// PairBackend selects how phases 1 and 2 enumerate promising pairs.
+// All three backends yield byte-identical families; they differ in
+// build cost and peak index memory (see DESIGN.md §7e).
+type PairBackend int
+
+const (
+	// PairsGST indexes with the generalized suffix tree — the paper's
+	// structure and the default.
+	PairsGST PairBackend = iota
+	// PairsESA indexes with the enhanced suffix array: the same pair
+	// set from flat sorted arrays instead of pointered tree nodes.
+	PairsESA
+	// PairsSparse streams candidate pairs from a blocked sparse
+	// k-mer × sequence matrix multiply (A·Aᵀ), holding only one
+	// bucket's CSR block in memory at a time.
+	PairsSparse
+)
+
+func (b PairBackend) String() string {
+	switch b {
+	case PairsESA:
+		return "esa"
+	case PairsSparse:
+		return "sparse"
+	}
+	return "gst"
+}
+
+// ParsePairBackend maps the -pairs flag values onto the backend enum.
+func ParsePairBackend(s string) (PairBackend, error) {
+	switch s {
+	case "", "gst":
+		return PairsGST, nil
+	case "esa":
+		return PairsESA, nil
+	case "sparse":
+		return PairsSparse, nil
+	}
+	return PairsGST, fmt.Errorf("profam: unknown pair backend %q (want gst, esa or sparse)", s)
+}
+
 // Config holds every user-visible knob, with the paper's defaults.
 // The zero value is ready to use.
 type Config struct {
@@ -114,10 +155,13 @@ type Config struct {
 	// time changes.
 	ThreadsPerRank int
 
-	// UseESA switches the maximal-match index from the generalized
-	// suffix tree to the enhanced suffix array (same pair set, flatter
-	// memory profile).
-	UseESA bool
+	// Pairs selects the promising-pair generation backend: PairsGST
+	// (the paper's generalized suffix tree), PairsESA (enhanced suffix
+	// array — same pair set, flatter memory profile) or PairsSparse
+	// (streamed sparse k-mer matrix multiply — same candidate set,
+	// peak index memory bounded by one bucket instead of the full
+	// assignment). Families are byte-identical across backends.
+	Pairs PairBackend
 
 	// Lockstep reverts the master–worker phases to the synchronous
 	// round-robin protocol (master serves ranks 1..p-1 in a fixed cycle,
@@ -218,24 +262,32 @@ func (c Config) withDefaults() Config {
 }
 
 // epochFingerprint canonicalizes every knob that influences family
-// output. Incremental epochs refuse to extend state built under a
-// different fingerprint: the determinism contract (incremental ==
-// byte-identical to cold) only holds when all epochs agree on these.
-// Execution-shape knobs (threads, batching, protocol, kernels, index)
-// are deliberately excluded — families are certified identical across
-// them.
+// output, plus the pair backend. Incremental epochs refuse to extend
+// state built under a different fingerprint: the determinism contract
+// (incremental == byte-identical to cold) only holds when all epochs
+// agree on these. Execution-shape knobs (threads, batching, protocol,
+// kernels) are deliberately excluded — families are certified identical
+// across them. The pair backend is family-identical too, but it is
+// included anyway: a service that drifts backends mid-stream would mix
+// per-backend metric series and memory behavior across epochs, so the
+// drift is rejected up front instead.
 func (c Config) epochFingerprint() string {
 	d := c.withDefaults()
-	return fmt.Sprintf("psi=%d ci=%g cc=%g os=%g oc=%g es=%g red=%d w=%d s1=%d c1=%d s2=%d c2=%d tau=%g mc=%d mf=%d seed=%d",
+	return fmt.Sprintf("psi=%d ci=%g cc=%g os=%g oc=%g es=%g red=%d w=%d s1=%d c1=%d s2=%d c2=%d tau=%g mc=%d mf=%d seed=%d pairs=%s",
 		d.Psi, d.ContainIdentity, d.ContainCoverage, d.OverlapSimilarity, d.OverlapCoverage,
 		d.EdgeSimilarity, d.Reduction, d.W, d.S1, d.C1, d.S2, d.C2, d.Tau,
-		d.MinComponentSize, d.MinFamilySize, d.Seed)
+		d.MinComponentSize, d.MinFamilySize, d.Seed, d.Pairs)
 }
 
 func (c Config) paceConfig() pace.Config {
-	idx := pace.IndexGST
-	if c.UseESA {
+	var idx pace.IndexKind
+	switch c.Pairs {
+	case PairsESA:
 		idx = pace.IndexESA
+	case PairsSparse:
+		idx = pace.IndexSparse
+	default:
+		idx = pace.IndexGST
 	}
 	return pace.Config{
 		Psi:           c.Psi,
