@@ -4,15 +4,19 @@
 #   ./ci.sh             gofmt + vet + build + tests + race-detector pass
 #   ./ci.sh bench       additionally regenerate BENCH_results.json
 #   ./ci.sh benchcheck  bench-regression gate: compare against the checked-in
-#                       BENCH_results.json, failing on >20% kernel slowdown
-#                       or >5% event-tracing overhead on the threads=1
-#                       pipeline kernel (both skipped automatically when
-#                       the host is too noisy)
+#                       BENCH_results.json, failing on >20% kernel slowdown,
+#                       >5% event-tracing overhead on the threads=1
+#                       pipeline kernel, or >5% HTTP-telemetry overhead on
+#                       the service status handler (all skipped
+#                       automatically when the host is too noisy)
 #   ./ci.sh lint        staticcheck + govulncheck (skipped with a notice
 #                       when the binaries are not installed)
 #   ./ci.sh e2e         service gate: boot profamd, ingest a datagen corpus
-#                       over HTTP in waves, and diff the served families
-#                       against a cold profam run on the union corpus;
+#                       over HTTP in waves, diff the served families
+#                       against a cold profam run on the union corpus, and
+#                       validate the epoch provenance ledger (record count,
+#                       schema round-trip, families digest vs the cold run)
+#                       plus the per-epoch traces and telemetry series;
 #                       artifacts land in e2e_artifacts/
 #
 # The race pass matters: the hybrid rank×thread execution model runs
@@ -59,6 +63,7 @@ if [ "${1:-}" = "e2e" ]; then
 	go build -o "$tmp/profamd" ./cmd/profamd
 	go build -o "$tmp/profam" ./cmd/profam
 	go build -o "$tmp/datagen" ./cmd/datagen
+	go build -o "$tmp/ledgercheck" ./cmd/ledgercheck
 
 	echo "-- generate corpus"
 	"$tmp/datagen" -families 6 -mean-size 10 -mean-length 110 \
@@ -74,6 +79,7 @@ if [ "${1:-}" = "e2e" ]; then
 	echo "-- start profamd"
 	"$tmp/profamd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -p 2 \
 		-batch-wait 100ms -metrics-out "$artifacts/metrics_final.json" \
+		-ledger "$artifacts/ledger.jsonl" -trace-dir "$artifacts/traces" \
 		>"$artifacts/profamd.stdout" 2>"$artifacts/profamd.log" &
 	daemon_pid=$!
 
@@ -117,6 +123,22 @@ if [ "${1:-}" = "e2e" ]; then
 		exit 1
 	fi
 
+	echo "-- epoch provenance and telemetry endpoints"
+	epochs=$(curl -sf "$base/v1/epochs")
+	echo "$epochs" | grep -q '"count":3' \
+		|| { echo "ci.sh e2e: /v1/epochs does not list 3 committed epochs: $epochs" >&2; exit 1; }
+	curl -sf "$base/v1/epochs/3" | grep -q '"status":"committed"' \
+		|| { echo "ci.sh e2e: /v1/epochs/3 missing or not committed" >&2; exit 1; }
+	curl -sf "$base/debug/epochs/3/trace" >"$artifacts/epoch3_trace.json"
+	grep -q '"traceEvents"' "$artifacts/epoch3_trace.json" \
+		|| { echo "ci.sh e2e: epoch trace is not Chrome JSON" >&2; exit 1; }
+	grep -q '"otherData":{"epoch":"3"}' "$artifacts/epoch3_trace.json" \
+		|| { echo "ci.sh e2e: epoch trace missing epoch metadata" >&2; exit 1; }
+	for series in server_http_latency_us server_http_requests runtime_goroutines runtime_heap_inuse_bytes; do
+		grep -q "$series" "$artifacts/metrics_scrape.txt" \
+			|| { echo "ci.sh e2e: /metrics missing $series" >&2; exit 1; }
+	done
+
 	echo "-- graceful shutdown"
 	kill -TERM "$daemon_pid"
 	i=0
@@ -130,6 +152,14 @@ if [ "${1:-}" = "e2e" ]; then
 	[ "$rc" -eq 0 ] || { echo "profamd exited with status $rc" >&2; cat "$artifacts/profamd.log" >&2; exit 1; }
 	grep -q '^# ' "$artifacts/served_families.txt"
 	[ -s "$artifacts/metrics_final.json" ] || { echo "no final metrics flush" >&2; exit 1; }
+
+	echo "-- validate the epoch ledger against the cold run"
+	"$tmp/ledgercheck" -ledger "$artifacts/ledger.jsonl" \
+		-expect-committed 3 -expect-families "$artifacts/cold_families.txt"
+	for w in 1 2 3; do
+		[ -s "$artifacts/traces/epoch_000$w.trace.json" ] \
+			|| { echo "ci.sh e2e: missing persisted trace for epoch $w" >&2; exit 1; }
+	done
 
 	echo "-- sparse backend leg: profamd -pairs sparse over the same waves"
 	"$tmp/profamd" -addr 127.0.0.1:0 -addr-file "$tmp/addr_sparse" -p 2 \
@@ -180,7 +210,7 @@ if [ "${1:-}" = "e2e" ]; then
 		exit 1
 	fi
 
-	echo "ci.sh: e2e service gate passed ($total sequences, byte-identical families, gst+sparse backends)"
+	echo "ci.sh: e2e service gate passed ($total sequences, byte-identical families, gst+sparse backends, ledger verified)"
 	exit 0
 fi
 
@@ -212,7 +242,7 @@ fi
 if [ "${1:-}" = "benchcheck" ]; then
 	echo "== bench regression gate vs BENCH_results.json =="
 	go run ./cmd/benchjson -compare BENCH_results.json -tolerance 0.20 \
-		-trace-tolerance 0.05 -benchtime 200ms -timeout 10m
+		-trace-tolerance 0.05 -obs-tolerance 0.05 -benchtime 200ms -timeout 10m
 fi
 
 echo "ci.sh: all checks passed"

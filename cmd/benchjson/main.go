@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"runtime"
@@ -73,8 +75,12 @@ type fileFormat struct {
 	// SparsePeakBytesRatio is ESA/sparse peak index bytes on a large
 	// corpus (work checksum, not timing) — the memory win the sparse
 	// pair backend exists to deliver. The run fails if it is ≤ 1.
-	SparsePeakBytesRatio float64            `json:"sparse_peak_bytes_ratio,omitempty"`
-	Benchmarks           map[string]float64 `json:"benchmarks_ns_per_op"`
+	SparsePeakBytesRatio float64 `json:"sparse_peak_bytes_ratio,omitempty"`
+	// ServiceObsOverheadRatio is instrumented/bare ns/op on the profamd
+	// status handler — the per-request cost of the HTTP telemetry
+	// middleware, gated at -obs-tolerance in -compare mode.
+	ServiceObsOverheadRatio float64            `json:"service_obs_overhead_ratio,omitempty"`
+	Benchmarks              map[string]float64 `json:"benchmarks_ns_per_op"`
 }
 
 func main() {
@@ -86,6 +92,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON file to gate against; exits 1 on any regression beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown per kernel in -compare mode")
 	traceTol := flag.Float64("trace-tolerance", 0.05, "allowed fractional tracing overhead on the threads=1 pipeline kernel in -compare mode")
+	obsTol := flag.Float64("obs-tolerance", 0.05, "allowed fractional HTTP-telemetry overhead on the service status handler in -compare mode")
 	timeout := flag.Duration("timeout", 15*time.Minute, "abort the whole run after this long")
 	flag.Parse()
 
@@ -261,6 +268,29 @@ func main() {
 			}
 		}
 	})
+	// The service handler pair: identical status requests through the
+	// instrumented and bare handler paths of one live server. Their ratio
+	// is the per-request price of the telemetry middleware.
+	obsSet, _ := experiments.SetOfSize(60, 19)
+	instrH, bareH, obsShutdown, err := experiments.ObsHandlers(obsSet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statusBench := func(h http.Handler) func(b *testing.B) {
+		return func(b *testing.B) {
+			req := httptest.NewRequest(http.MethodGet, "/v1/status", nil)
+			for i := 0; i < b.N; i++ {
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, req)
+				if rr.Code != http.StatusOK {
+					b.Fatalf("status = %d", rr.Code)
+				}
+			}
+		}
+	}
+	record("ServiceStatusInstrumented", statusBench(instrH))
+	record("ServiceStatusBare", statusBench(bareH))
+	obsShutdown()
 
 	// The TCP kernels each grab a fresh port block per iteration so
 	// lingering TIME_WAIT sockets from the previous mesh can't collide.
@@ -317,11 +347,19 @@ func main() {
 			log.Printf("tracing overhead on threads=1 pipeline: %+.1f%%", 100*traceOverhead)
 		}
 	}
+	var obsRatio float64
+	if bare, ok := results["ServiceStatusBare"]; ok && bare > 0 {
+		if instr, ok := results["ServiceStatusInstrumented"]; ok {
+			obsRatio = instr / bare
+			log.Printf("service telemetry overhead on status handler: %.3fx", obsRatio)
+		}
+	}
 
 	payload := fileFormat{
-		CellsEliminatedRatio: cellsRatio,
-		TraceOverheadRatio:   traceOverhead,
-		Benchmarks:           results,
+		CellsEliminatedRatio:    cellsRatio,
+		TraceOverheadRatio:      traceOverhead,
+		ServiceObsOverheadRatio: obsRatio,
+		Benchmarks:              results,
 	}
 	if striped, ok := results["AlignStriped/threads=1"]; ok && striped > 0 {
 		if scalar, ok := results["AlignLocalScalar/threads=1"]; ok {
@@ -369,7 +407,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		os.Exit(compareBaseline(*compare, payload, *tolerance, *traceTol, noise, explicitOut(), *out))
+		os.Exit(compareBaseline(*compare, payload, *tolerance, *traceTol, *obsTol, noise, explicitOut(), *out))
 	}
 
 	writeResults(*out, payload)
@@ -414,7 +452,7 @@ func writeResults(path string, payload fileFormat) {
 // tracing-overhead gate needs no baseline — traced and untraced kernels
 // ran back to back in this same invocation — but it keeps its own noise
 // guard since traceTol is typically much tighter than tolerance.
-func compareBaseline(path string, payload fileFormat, tolerance, traceTol, noise float64, writeOut bool, outPath string) int {
+func compareBaseline(path string, payload fileFormat, tolerance, traceTol, obsTol, noise float64, writeOut bool, outPath string) int {
 	results, traceOverhead := payload.Benchmarks, payload.TraceOverheadRatio
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -453,6 +491,20 @@ func compareBaseline(path string, payload fileFormat, tolerance, traceTol, noise
 		regressed++
 	default:
 		log.Printf("tracing overhead %+.1f%% within %.0f%% budget", 100*traceOverhead, 100*traceTol)
+	}
+	// The service-telemetry gate mirrors the tracing gate: both handler
+	// paths ran back to back in this invocation, so no baseline is
+	// consulted, only the noise guard.
+	switch {
+	case payload.ServiceObsOverheadRatio == 0:
+		log.Print("service telemetry overhead unavailable; skipping its gate")
+	case noise > obsTol/2:
+		log.Printf("host too noisy (%.1f%% spread) to judge the %.2fx telemetry-overhead gate; skipping it", 100*noise, 1+obsTol)
+	case payload.ServiceObsOverheadRatio > 1+obsTol:
+		log.Printf("service telemetry overhead %.3fx exceeds %.2fx budget: REGRESSED", payload.ServiceObsOverheadRatio, 1+obsTol)
+		regressed++
+	default:
+		log.Printf("service telemetry overhead %.3fx within %.2fx budget", payload.ServiceObsOverheadRatio, 1+obsTol)
 	}
 	if writeOut {
 		writeResults(outPath, payload)

@@ -17,6 +17,12 @@
 // epochs within -drain-timeout, then the HTTP listener closes. A second
 // signal — or the timeout — aborts the in-flight epoch; its partial
 // metrics are still flushed to -metrics-out via the failed-run stash.
+//
+// Observability: -ledger appends one provenance record per epoch (served
+// at GET /v1/epochs and /v1/epochs/{n}), each epoch's trace timeline is
+// retained for GET /debug/epochs/{n}/trace and persisted under
+// -trace-dir, and GET /metrics exports per-route HTTP series plus
+// runtime health alongside the pipeline metrics.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"profam"
+	"profam/internal/ledger"
 	"profam/internal/metrics"
 	"profam/internal/server"
 )
@@ -62,6 +69,11 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	queueCap := fs.Int("queue-cap", 64, "bounded submission queue; full-queue submissions block (backpressure)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for committing in-flight batches before the epoch is aborted")
 	metricsOut := fs.String("metrics-out", "", "write the final merged metrics report as JSON to this file on exit (- for stdout)")
+	ledgerPath := fs.String("ledger", "", "append one provenance record per epoch to this JSONL file (crash-safe; replayed on restart). Empty keeps the ledger in memory only")
+	traceDir := fs.String("trace-dir", "", "persist each epoch's trace as Chrome JSON (epoch_NNNN.trace.json) under this directory")
+	traceCap := fs.Int("trace-cap", 1<<15, "per-rank trace-event ring capacity per epoch (0 disables epoch tracing)")
+	epochHistory := fs.Int("epoch-history", 8, "number of recent epoch timelines retained for /debug/epochs/{n}/trace")
+	healthInterval := fs.Duration("health-interval", 10*time.Second, "runtime health sampling period (goroutines, heap, GC pauses)")
 	logLevel := fs.String("log-level", "info", "structured log level: debug, info, warn or error")
 	logJSON := fs.Bool("log-json", false, "emit structured logs as JSON lines instead of text")
 
@@ -103,13 +115,29 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	}
 	cfg.Logger = logger
 
+	led, err := ledger.Open(*ledgerPath)
+	if err != nil {
+		return fmt.Errorf("opening ledger: %w", err)
+	}
+	defer led.Close()
+	if led.Recovered() {
+		logger.Warn("ledger recovered from torn tail", "path", *ledgerPath, "records", led.Len())
+	} else if led.Len() > 0 {
+		logger.Info("ledger replayed", "path", *ledgerPath, "records", led.Len())
+	}
+
 	srv := server.New(server.Config{
-		Pipeline:  cfg,
-		Ranks:     *p,
-		BatchSize: *batchSize,
-		BatchWait: *batchWait,
-		QueueCap:  *queueCap,
-		Logger:    logger,
+		Pipeline:       cfg,
+		Ranks:          *p,
+		BatchSize:      *batchSize,
+		BatchWait:      *batchWait,
+		QueueCap:       *queueCap,
+		Ledger:         led,
+		TraceCapacity:  *traceCap,
+		TraceHistory:   *epochHistory,
+		TraceDir:       *traceDir,
+		HealthInterval: *healthInterval,
+		Logger:         logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

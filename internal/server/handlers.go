@@ -7,11 +7,15 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"profam"
+	"profam/internal/ledger"
 	"profam/internal/metrics"
 	"profam/internal/report"
 	"profam/internal/seq"
+	"profam/internal/trace"
 )
 
 // httpError carries an HTTP status with its message.
@@ -22,27 +26,53 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API, every route wrapped in the
+// telemetry middleware (per-route request counters and latency
+// histograms):
 //
 //	POST /v1/sequences              ingest (JSON or FASTA body)
 //	GET  /v1/families               family list (?format=text for the canonical listing)
 //	GET  /v1/families/{id}          one family
 //	GET  /v1/sequences/{id}/family  family membership by sequence name or ID
 //	GET  /v1/status                 service state
+//	GET  /v1/epochs                 epoch provenance ledger records
+//	GET  /v1/epochs/{n}             one epoch's provenance record
+//	GET  /debug/epochs/{n}/trace    epoch timeline as Chrome trace JSON
 //	GET  /healthz                   liveness
 //	GET  /readyz                    readiness (503 once shutdown begins)
 //	GET  /metrics                   Prometheus text exposition
 func (s *Server) Handler() http.Handler {
+	return s.handler(true)
+}
+
+// BareHandler is Handler without the telemetry middleware. It exists
+// for the benchjson observability-overhead benchmark, which compares
+// the instrumented and bare handler paths to pin
+// service_obs_overhead_ratio.
+func (s *Server) BareHandler() http.Handler {
+	return s.handler(false)
+}
+
+func (s *Server) handler(instrumented bool) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sequences", s.handleIngest)
-	mux.HandleFunc("GET /v1/families", s.handleFamilies)
-	mux.HandleFunc("GET /v1/families/{id}", s.handleFamily)
-	mux.HandleFunc("GET /v1/sequences/{id}/family", s.handleSequenceFamily)
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		if instrumented {
+			h = s.instrument(route, h)
+		}
+		mux.HandleFunc(pattern, h)
+	}
+	handle("POST /v1/sequences", "ingest", s.handleIngest)
+	handle("GET /v1/families", "families", s.handleFamilies)
+	handle("GET /v1/families/{id}", "family", s.handleFamily)
+	handle("GET /v1/sequences/{id}/family", "sequence_family", s.handleSequenceFamily)
+	handle("GET /v1/status", "status", s.handleStatus)
+	handle("GET /v1/epochs", "epochs", s.handleEpochs)
+	handle("GET /v1/epochs/{n}", "epoch", s.handleEpoch)
+	handle("GET /debug/epochs/{n}/trace", "epoch_trace", s.handleEpochTrace)
+	handle("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /readyz", "readyz", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		closed := s.closed
 		s.mu.Unlock()
@@ -52,7 +82,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		w.WriteHeader(http.StatusOK)
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
 		rep := metrics.Merge(metrics.LiveSnapshots())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := rep.WritePrometheus(w); err != nil {
@@ -60,6 +90,56 @@ func (s *Server) Handler() http.Handler {
 		}
 	})
 	return mux
+}
+
+// statusWriter captures the response code for the telemetry middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route with request/latency telemetry:
+// server_http_requests{route,code} counters and a
+// server_http_latency_us{route} histogram. Route labels are fixed
+// words, never raw paths, so the series set stays bounded.
+//
+// The histogram and the 200-code counter are resolved once at wrap
+// time and other codes are cached after their first request, so the
+// steady-state per-request cost is two clock reads and two atomic
+// bumps — no name formatting or registry lock on the hot path. That
+// is what keeps service_obs_overhead_ratio under its benchjson gate.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.reg.Histogram(metrics.Name("server_http_latency_us", "route", route))
+	counterFor := func(code int) *metrics.Counter {
+		return s.reg.Counter(metrics.Name("server_http_requests",
+			"route", route, "code", strconv.Itoa(code)))
+	}
+	ok200 := counterFor(http.StatusOK)
+	var mu sync.Mutex
+	rare := make(map[int]*metrics.Counter)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		lat.Observe(time.Since(t0).Microseconds())
+		if sw.code == http.StatusOK {
+			ok200.Add(1)
+			return
+		}
+		mu.Lock()
+		c := rare[sw.code]
+		if c == nil {
+			c = counterFor(sw.code)
+			rare[sw.code] = c
+		}
+		mu.Unlock()
+		c.Add(1)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -206,10 +286,59 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		epoch, sequences, families = snap.Epoch, snap.Set.Len(), len(snap.Res.Families)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"epoch":     epoch,
-		"sequences": sequences,
-		"families":  families,
-		"building":  s.building.Load(),
-		"queued":    len(s.subs),
+		"epoch":              epoch,
+		"sequences":          sequences,
+		"families":           families,
+		"building":           s.building.Load(),
+		"queued":             len(s.subs),
+		"pending_batch":      s.pendingBatch.Load(),
+		"uptime_seconds":     time.Since(s.start).Seconds(),
+		"pair_backend":       s.cfg.Pipeline.Pairs.String(),
+		"last_epoch_seconds": s.lastEpochSeconds(),
 	})
+}
+
+// handleEpochs serves the full provenance ledger in append order.
+func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	recs := s.led.Records()
+	if recs == nil {
+		recs = []ledger.Record{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(recs), "epochs": recs})
+}
+
+// handleEpoch serves one epoch's latest provenance record.
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeErr(w, &httpError{http.StatusBadRequest, "epoch must be an integer"})
+		return
+	}
+	rec, ok := s.led.Epoch(n)
+	if !ok {
+		writeErr(w, &httpError{http.StatusNotFound, fmt.Sprintf("no ledger record for epoch %d", n)})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleEpochTrace serves one retained epoch timeline as Chrome trace
+// JSON (Perfetto-loadable). 404 covers both "tracing disabled" and
+// "evicted from the ring".
+func (s *Server) handleEpochTrace(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		writeErr(w, &httpError{http.StatusBadRequest, "epoch must be an integer"})
+		return
+	}
+	tl := s.EpochTrace(n)
+	if tl == nil {
+		writeErr(w, &httpError{http.StatusNotFound,
+			fmt.Sprintf("no trace retained for epoch %d (tracing disabled, or evicted; retained: %v)", n, s.TracedEpochs())})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.WriteChromeJSON(w, tl); err != nil {
+		s.log.Error("epoch trace", "epoch", n, "err", err)
+	}
 }

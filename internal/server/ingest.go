@@ -2,12 +2,19 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"time"
 
 	"profam"
+	"profam/internal/ledger"
+	"profam/internal/metrics"
 	"profam/internal/seq"
+	"profam/internal/trace"
 )
 
 // submission is one POST /v1/sequences request: its sequences ride into
@@ -84,6 +91,7 @@ func (s *Server) loop() {
 		if len(batch) > 0 {
 			s.flush(batch)
 			batch, pending = nil, 0
+			s.pendingBatch.Store(0)
 		}
 	}
 	for {
@@ -93,8 +101,13 @@ func (s *Server) loop() {
 				flush()
 				return
 			}
+			// Queue telemetry at the dequeue point: how long the oldest
+			// submission sat in the channel, and how deep it still is.
+			s.reg.Histogram("server_queue_wait_us").Observe(time.Since(sub.enq).Microseconds())
+			s.reg.Gauge("server_queue_depth").Set(float64(len(s.subs)))
 			batch = append(batch, sub)
 			pending += len(sub.seqs)
+			s.pendingBatch.Store(int64(pending))
 			if timer == nil {
 				timer = time.NewTimer(s.cfg.BatchWait)
 				timeout = timer.C
@@ -111,7 +124,10 @@ func (s *Server) loop() {
 // flush validates the batch, runs one incremental epoch over the
 // accepted submissions, publishes the new snapshot, and resolves every
 // reply channel. Rejections (invalid residues, duplicate names) are
-// per-submission: one bad request cannot poison its batch-mates.
+// per-submission: one bad request cannot poison its batch-mates. Every
+// epoch attempt — committed, failed or aborted — lands one record in
+// the ledger and one outcome-labeled ingest-latency observation per
+// accepted submission, so provenance and SLO data cover failures too.
 func (s *Server) flush(batch []*submission) {
 	inBatch := make(map[string]bool)
 	var accepted []*submission
@@ -152,11 +168,40 @@ func (s *Server) flush(batch []*submission) {
 	defer s.building.Store(false)
 	pcfg := s.cfg.Pipeline
 	pcfg.Abort = s.abort
+	pcfg.TraceCapacity = s.cfg.TraceCapacity
+	epoch := s.state.Epoch() + 1
+	rec := ledger.Record{
+		Epoch:        epoch,
+		Fingerprint:  pcfg.Fingerprint(),
+		PairBackend:  pcfg.Pairs.String(),
+		Submissions:  len(accepted),
+		NewSequences: len(seqs),
+	}
+	observeOutcome := func(outcome string) {
+		h := s.reg.Histogram(metrics.Name("server_ingest_to_publish_us", "outcome", outcome))
+		for _, sub := range accepted {
+			h.Observe(time.Since(sub.enq).Microseconds())
+		}
+	}
 	t0 := time.Now()
 	res, next, err := profam.RunEpoch(s.state, names, seqs, s.cfg.Ranks, pcfg)
+	build := time.Since(t0)
 	if err != nil {
+		outcome := ledger.StatusFailed
+		if errors.Is(err, profam.ErrAborted) {
+			outcome = ledger.StatusAborted
+		}
 		s.reg.Counter("server_epoch_failures").Add(1)
-		s.log.Error("epoch failed", "sequences", len(seqs), "err", err)
+		observeOutcome(outcome)
+		rec.Status = outcome
+		rec.UnixNanos = time.Now().UnixNano()
+		rec.CorpusSize = s.state.NumSequences()
+		rec.BuildSeconds = build.Seconds()
+		rec.Error = err.Error()
+		if lerr := s.led.Append(rec); lerr != nil {
+			s.log.Error("ledger append", "epoch", epoch, "err", lerr)
+		}
+		s.log.Error("epoch failed", "sequences", len(seqs), "outcome", outcome, "err", err)
 		for _, sub := range accepted {
 			sub.done <- submitReply{status: http.StatusServiceUnavailable, err: err}
 		}
@@ -166,7 +211,9 @@ func (s *Server) flush(batch []*submission) {
 	for name := range inBatch {
 		s.committed[name] = true
 	}
-	s.snap.Store(newSnapshot(next, res))
+	s.snap.Store(newSnapshot(next, res, build.Seconds()))
+	s.lastEpochSec.Store(math.Float64bits(build.Seconds()))
+	s.recordCommit(&rec, res, next, build)
 
 	s.reg.Counter("server_epochs").Add(1)
 	s.reg.Counter("server_sequences_ingested").Add(int64(len(seqs)))
@@ -175,11 +222,79 @@ func (s *Server) flush(batch []*submission) {
 	s.reg.Gauge("server_epoch").Set(float64(next.Epoch()))
 	s.reg.Gauge("server_corpus_size").Set(float64(next.NumSequences()))
 	s.reg.Gauge("server_families").Set(float64(len(res.Families)))
+	observeOutcome(ledger.StatusCommitted)
 	for _, sub := range accepted {
-		s.reg.Histogram("server_ingest_to_publish_us").Observe(time.Since(sub.enq).Microseconds())
 		sub.done <- submitReply{epoch: next.Epoch()}
 	}
 	s.log.Info("epoch committed",
 		"epoch", next.Epoch(), "new", len(seqs), "corpus", next.NumSequences(),
-		"families", len(res.Families), "build", time.Since(t0).Round(time.Millisecond))
+		"families", len(res.Families), "build", build.Round(time.Millisecond))
+}
+
+// recordCommit finalizes and appends the committed epoch's provenance
+// record and retains/persists its trace timeline. Runs on the batcher
+// goroutine after the snapshot swap, so the ledger record is visible no
+// later than the families it describes.
+func (s *Server) recordCommit(rec *ledger.Record, res *profam.Result, next *profam.EpochState, build time.Duration) {
+	rec.Status = ledger.StatusCommitted
+	rec.UnixNanos = time.Now().UnixNano()
+	rec.CorpusSize = next.NumSequences()
+	rec.Families = len(res.Families)
+	rec.BuildSeconds = build.Seconds()
+
+	set := next.Set()
+	inputNames := make([]string, set.Len())
+	for _, sq := range set.Seqs {
+		inputNames[sq.ID] = sq.Name
+	}
+	rec.InputDigest = ledger.NamesDigest(inputNames)
+	if digest, err := ledger.FamiliesDigest(set, res); err != nil {
+		s.log.Error("families digest", "epoch", rec.Epoch, "err", err)
+	} else {
+		rec.FamiliesDigest = digest
+	}
+
+	if m := res.Metrics; m != nil {
+		rec.Demotions = m.CounterValue("pipeline_epoch_demotions")
+		rec.ComponentsCached = m.CounterValue("pipeline_components_cached")
+		rec.HeapPeakBytes = int64(m.GaugeValue(metrics.HeapPeakGauge))
+		if len(m.Phases) > 0 {
+			rec.PhaseSeconds = make(map[string]float64, len(m.Phases))
+			for _, ph := range m.Phases {
+				rec.PhaseSeconds[ph.Name] = ph.MaxSeconds
+			}
+		}
+	}
+	if err := s.led.Append(*rec); err != nil {
+		s.log.Error("ledger append", "epoch", rec.Epoch, "err", err)
+	}
+
+	if res.Trace != nil {
+		// Tag a shallow copy with the epoch so the shared Result keeps
+		// its untagged timeline.
+		tl := *res.Trace
+		tl.Epoch = rec.Epoch
+		s.retainTrace(rec.Epoch, &tl)
+		if s.cfg.TraceDir != "" {
+			path := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("epoch_%04d.trace.json", rec.Epoch))
+			if err := writeTraceFile(path, &tl); err != nil {
+				s.log.Error("trace persist", "epoch", rec.Epoch, "err", err)
+			}
+		}
+	}
+}
+
+func writeTraceFile(path string, tl *trace.Timeline) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChromeJSON(f, tl); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

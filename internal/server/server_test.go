@@ -219,7 +219,7 @@ func TestServerRejectsBadSubmissions(t *testing.T) {
 // ingest while readers pound every query endpoint.
 func serverHammer(t *testing.T, writers, queriesPerReader int) {
 	set := testCorpus(t, 77)
-	_, ts := newTestServer(t, Config{BatchWait: 5 * time.Millisecond})
+	_, ts := newTestServer(t, Config{BatchWait: 5 * time.Millisecond, TraceCapacity: 1 << 12})
 
 	per := (set.Len() + writers - 1) / writers
 	var wg sync.WaitGroup
@@ -243,7 +243,8 @@ func serverHammer(t *testing.T, writers, queriesPerReader int) {
 		go func(r int) {
 			defer wg.Done()
 			paths := []string{"/v1/families", "/v1/status", "/v1/families/0",
-				"/v1/sequences/" + set.Get(0).Name + "/family", "/readyz", "/metrics"}
+				"/v1/sequences/" + set.Get(0).Name + "/family", "/readyz", "/metrics",
+				"/v1/epochs", "/v1/epochs/1", "/debug/epochs/1/trace"}
 			for q := 0; q < queriesPerReader; q++ {
 				resp, err := http.Get(ts.URL + paths[(q+r)%len(paths)])
 				if err != nil {

@@ -21,19 +21,23 @@ type Snapshot struct {
 	FamilyOf []int
 	// IDByName resolves sequence names to IDs.
 	IDByName map[string]int
+	// BuildSeconds is the wall-clock duration of the epoch that
+	// produced this snapshot.
+	BuildSeconds float64
 }
 
-func newSnapshot(st *profam.EpochState, res *profam.Result) *Snapshot {
+func newSnapshot(st *profam.EpochState, res *profam.Result, buildSeconds float64) *Snapshot {
 	set := st.Set()
 	byName := make(map[string]int, set.Len())
 	for _, sq := range set.Seqs {
 		byName[sq.Name] = sq.ID
 	}
 	return &Snapshot{
-		Epoch:    st.Epoch(),
-		Res:      res,
-		Set:      set,
-		FamilyOf: res.FamilyLabels(),
-		IDByName: byName,
+		Epoch:        st.Epoch(),
+		Res:          res,
+		Set:          set,
+		FamilyOf:     res.FamilyLabels(),
+		IDByName:     byName,
+		BuildSeconds: buildSeconds,
 	}
 }

@@ -50,7 +50,11 @@ func WriteChromeJSON(w io.Writer, tl *Timeline) error {
 			emit(chromeEvent(e))
 		}
 	}
-	bw.WriteString("\n]}\n")
+	bw.WriteString("\n]")
+	if tl.Epoch > 0 {
+		fmt.Fprintf(bw, ",\"otherData\":{\"epoch\":\"%d\"}", tl.Epoch)
+	}
+	bw.WriteString("}\n")
 	return bw.Flush()
 }
 

@@ -194,7 +194,11 @@ func (t *Tracer) Snapshot() RankTrace {
 type Timeline struct {
 	NumRanks int
 	Dropped  int64
-	Ranks    []RankTrace
+	// Epoch tags service timelines with the committed epoch number the
+	// events belong to (0 for one-shot CLI jobs). It rides along through
+	// Chrome export as trace metadata.
+	Epoch int
+	Ranks []RankTrace
 }
 
 // Merge assembles per-rank snapshots into a Timeline, ordering by rank.
@@ -231,7 +235,7 @@ func (tl *Timeline) Canonical() *Timeline {
 	if tl == nil {
 		return nil
 	}
-	out := &Timeline{NumRanks: tl.NumRanks, Dropped: tl.Dropped}
+	out := &Timeline{NumRanks: tl.NumRanks, Dropped: tl.Dropped, Epoch: tl.Epoch}
 	for _, rt := range tl.Ranks {
 		crt := RankTrace{Rank: rt.Rank, Dropped: rt.Dropped, Events: make([]Event, len(rt.Events))}
 		for i, e := range rt.Events {

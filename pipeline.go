@@ -211,7 +211,10 @@ func runEpochPipeline(c *mpi.Comm, set *seq.Set, cfg Config, prior *epochPrior) 
 		newFrom = prior.newFrom
 	}
 
-	// Phase 1: redundancy removal.
+	// Phase 1: redundancy removal. The start instant carries the corpus
+	// shape so an epoch's timeline is self-describing (both counts are
+	// rank-identical, so the canonical trace stays thread-invariant).
+	tracer.Instant(trace.CatPipeline, "phase:start", "corpus", int64(set.Len()), "new", int64(set.Len()-newFrom))
 	tracer.Instant(trace.CatPipeline, "phase:rr", "", 0, "", 0)
 	rrSpan := reg.StartSpan("rr")
 	keep, rrStats, err := pace.RedundancyRemovalFrom(c, set, priorRedundant, newFrom, pcfg)

@@ -279,6 +279,12 @@ func (c Config) epochFingerprint() string {
 		d.MinComponentSize, d.MinFamilySize, d.Seed, d.Pairs)
 }
 
+// Fingerprint exposes the epoch fingerprint for provenance records: two
+// configs with equal fingerprints are guaranteed to produce identical
+// families over the same corpus, so a ledger that stores it can certify
+// which runs are comparable.
+func (c Config) Fingerprint() string { return c.epochFingerprint() }
+
 func (c Config) paceConfig() pace.Config {
 	var idx pace.IndexKind
 	switch c.Pairs {
