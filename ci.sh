@@ -17,7 +17,11 @@
 #                       validate the epoch provenance ledger (record count,
 #                       schema round-trip, families digest vs the cold run)
 #                       plus the per-epoch traces and telemetry series;
-#                       artifacts land in e2e_artifacts/
+#                       then repeat the waves through a sparse-backend
+#                       daemon and a 4-shard multi-master daemon, diffing
+#                       both against the single-master serve and their own
+#                       cold runs (shard-balance metrics land as an
+#                       artifact); artifacts land in e2e_artifacts/
 #
 # The race pass matters: the hybrid rank×thread execution model runs
 # alignment batches, index construction and phase 3+4 component jobs on
@@ -210,7 +214,70 @@ if [ "${1:-}" = "e2e" ]; then
 		exit 1
 	fi
 
-	echo "ci.sh: e2e service gate passed ($total sequences, byte-identical families, gst+sparse backends, ledger verified)"
+	echo "-- sharded leg: profamd -shards 4 over the same waves"
+	"$tmp/profamd" -addr 127.0.0.1:0 -addr-file "$tmp/addr_sharded" -p 4 \
+		-shards 4 -batch-wait 100ms \
+		-metrics-out "$artifacts/metrics_sharded.json" \
+		-ledger "$artifacts/ledger_sharded.jsonl" \
+		>"$artifacts/profamd_sharded.stdout" 2>"$artifacts/profamd_sharded.log" &
+	daemon_pid=$!
+	i=0
+	while [ ! -s "$tmp/addr_sharded" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "sharded profamd never wrote its address" >&2; exit 1; }
+		kill -0 "$daemon_pid" 2>/dev/null || { echo "sharded profamd died during startup" >&2; cat "$artifacts/profamd_sharded.log" >&2; exit 1; }
+		sleep 0.1
+	done
+	base="http://$(cat "$tmp/addr_sharded")"
+	i=0
+	while ! curl -sf "$base/readyz" >/dev/null; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "sharded profamd never became ready" >&2; exit 1; }
+		sleep 0.1
+	done
+	for w in 0 1 2; do
+		[ -f "$tmp/wave$w.fasta" ] || continue
+		curl -sf --data-binary "@$tmp/wave$w.fasta" "$base/v1/sequences" >/dev/null \
+			|| { echo "sharded wave $w submission failed" >&2; cat "$artifacts/profamd_sharded.log" >&2; exit 1; }
+	done
+	curl -sf "$base/v1/families?format=text" >"$artifacts/served_families_sharded.txt"
+	kill -TERM "$daemon_pid"
+	i=0
+	while kill -0 "$daemon_pid" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -gt 300 ] && { echo "sharded profamd did not exit after SIGTERM" >&2; exit 1; }
+		sleep 0.1
+	done
+	wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
+	daemon_pid=""
+	[ "$rc" -eq 0 ] || { echo "sharded profamd exited with status $rc" >&2; cat "$artifacts/profamd_sharded.log" >&2; exit 1; }
+
+	# Multi-master sharding must not change the served families: diff
+	# against the single-master serve and against a cold sharded run.
+	if ! diff -u "$artifacts/served_families.txt" "$artifacts/served_families_sharded.txt"; then
+		echo "ci.sh e2e: sharded-served families differ from the single-master serve" >&2
+		exit 1
+	fi
+	# The cold sharded run doubles as the shard-balance artifact: its
+	# merged metrics report carries the per-shard placement counters and
+	# the imbalance gauge — the CI record of how evenly LSH placement
+	# spread the corpus. (profamd's own -metrics-out holds only service
+	# telemetry; pipeline registries are per-epoch.)
+	"$tmp/profam" -in "$tmp/orfs.fasta" -p 4 -shards 4 \
+		-metrics-out "$artifacts/metrics_shard_balance.json" \
+		-out "$artifacts/cold_families_sharded.txt" >/dev/null 2>/dev/null
+	if ! diff -u "$artifacts/cold_families_sharded.txt" "$artifacts/served_families_sharded.txt"; then
+		echo "ci.sh e2e: sharded-served families differ from the cold sharded run" >&2
+		exit 1
+	fi
+	"$tmp/ledgercheck" -ledger "$artifacts/ledger_sharded.jsonl" \
+		-expect-committed 3 -expect-families "$artifacts/cold_families_sharded.txt"
+	grep -q 'pace_shard_seqs' "$artifacts/metrics_shard_balance.json" \
+		|| { echo "ci.sh e2e: shard-balance metrics missing pace_shard_seqs counters" >&2; exit 1; }
+	grep -q 'pace_shard_imbalance' "$artifacts/metrics_shard_balance.json" \
+		|| { echo "ci.sh e2e: shard-balance metrics missing pace_shard_imbalance gauge" >&2; exit 1; }
+
+	echo "ci.sh: e2e service gate passed ($total sequences, byte-identical families, gst+sparse backends, single- and multi-master, ledgers verified)"
 	exit 0
 fi
 

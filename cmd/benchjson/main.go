@@ -76,6 +76,11 @@ type fileFormat struct {
 	// corpus (work checksum, not timing) — the memory win the sparse
 	// pair backend exists to deliver. The run fails if it is ≤ 1.
 	SparsePeakBytesRatio float64 `json:"sparse_peak_bytes_ratio,omitempty"`
+	// SimShardSpeedup is the deterministic virtual-makespan ratio
+	// single-master/sharded on the 64-rank master-bound corpus
+	// (experiments.ShardCorpus at 8 shards) — the multi-master win LSH
+	// sharding exists to deliver. The run fails if it is ≤ 1.
+	SimShardSpeedup float64 `json:"sim_shard_speedup,omitempty"`
 	// ServiceObsOverheadRatio is instrumented/bare ns/op on the profamd
 	// status handler — the per-request cost of the HTTP telemetry
 	// middleware, gated at -obs-tolerance in -compare mode.
@@ -239,6 +244,23 @@ func main() {
 			}
 		}
 	})
+	// PipelineSharded mirrors PipelineThreads at 4 ranks, single-master
+	// vs 4 LSH shards, keeping the real-time cost of the sharded path
+	// (signature phase, split collectives, boundary merge) visible in
+	// the trajectory.
+	for _, sh := range []int{1, 4} {
+		sh := sh
+		record(fmt.Sprintf("PipelineSharded/shards=%d", sh), func(b *testing.B) {
+			cfg := experiments.PipelineConfig()
+			cfg.ThreadsPerRank = 1
+			cfg.Shards = sh
+			for i := 0; i < b.N; i++ {
+				if _, _, err := profam.RunSet(pipeSet, 4, false, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	// The pair-generation kernels isolate the candidate-pair index+
 	// enumeration hot path (no alignment, no transport) on the two
 	// non-default backends over the same corpus and ψ.
@@ -404,6 +426,20 @@ func main() {
 	log.Printf("peak index bytes esa/sparse: %d / %d = %.2fx", esaBytes, sparseBytes, memRatio)
 	if memRatio <= 1.0 {
 		log.Fatalf("sparse peak index bytes (%d) not below ESA (%d); ratio %.2f <= 1.0", sparseBytes, esaBytes, memRatio)
+	}
+	// Multi-master sharding win: deterministic 64-rank virtual-time
+	// makespans, single-master vs 8 LSH shards, on the master-bound
+	// corpus. No noise guard (pure simulation) and a hard gate: the
+	// sharded path's whole reason to exist is beating one master.
+	singleMk, shardedMk, shardSpeedup, err := experiments.ShardSpeedup(
+		experiments.ShardCorpus(), experiments.ShardConfig(), 64, 8, mpi.BlueGeneLike())
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload.SimShardSpeedup = shardSpeedup
+	log.Printf("sim shard win (64 ranks, 8 shards): %.4fs -> %.4fs makespan, %.2fx", singleMk, shardedMk, shardSpeedup)
+	if shardSpeedup <= 1.0 {
+		log.Fatalf("sharded 64-rank makespan (%.4fs) not below single-master (%.4fs); speedup %.2f <= 1.0", shardedMk, singleMk, shardSpeedup)
 	}
 
 	if *compare != "" {

@@ -139,6 +139,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"alignment kernel selection: auto (bit-parallel and striped int16 kernels with certified fallthrough) or scalar (int32 reference kernels only; identical output, more work)")
 	fs.BoolVar(&cfg.Lockstep, "lockstep", false,
 		"revert the master-worker phases to the synchronous round-robin protocol (no arrival-order service, no worker prefetch) — the reference arm for overlap measurements")
+	fs.IntVar(&cfg.Shards, "shards", 1,
+		"LSH similarity shards: split the ranks into this many rank groups, each running its own master over one shard of the corpus, with a cross-shard boundary pass merging families (1 = single master)")
 	wire := fs.String("wire", "binary", "TCP payload encoding for hot master-worker messages: binary (compact delta/varint frames) or gob")
 
 	if err := fs.Parse(args); err != nil {

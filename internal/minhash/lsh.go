@@ -1,0 +1,124 @@
+package minhash
+
+import "sort"
+
+// LSH support for similarity sharding: per-sequence MinHash signatures
+// over ψ-mer shingles, banded into shard buckets (Sunarso et al.'s
+// MinHash-bucketed partitioning). The permutation family here is derived
+// from a splitmix64 stream rather than math/rand, so the mapping from
+// seed to Perm{A,B} is a frozen part of the epoch fingerprint — stable
+// across Go releases, ranks, thread counts and reruns by construction.
+
+// splitmix64 advances the state and returns the next value of the
+// sequence (Steele et al., "Fast splittable pseudorandom number
+// generators"). It is the usual seed-expansion primitive: every output
+// is a bijective mix of the state, so even adjacent seeds yield
+// unrelated permutation families.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewFamilyFixed returns c permutations derived from seed via splitmix64.
+// Unlike NewFamily (which draws from math/rand and is kept for the
+// Shingle phase's historical output), the seed→family mapping is defined
+// by this package alone and safe to fold into a config fingerprint.
+func NewFamilyFixed(c int, seed uint64) *Family {
+	st := seed
+	f := &Family{Perms: make([]Perm, c)}
+	for i := range f.Perms {
+		a := splitmix64(&st)%(MersennePrime61-1) + 1
+		b := splitmix64(&st) % MersennePrime61
+		f.Perms[i] = Perm{A: a, B: b}
+	}
+	return f
+}
+
+// Posting is one distinct ψ-mer of a sequence: the 64-bit FNV-1a hash of
+// the window and the offset of its first occurrence.
+type Posting struct {
+	Hash uint64
+	Off  int32
+}
+
+// KmerHash is FNV-1a over the window bytes — the shingle hash behind
+// both the MinHash signatures and the cross-shard candidate index.
+func KmerHash(w []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range w {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// KmerPostings returns the distinct ψ-mers of res as postings sorted by
+// ascending hash (ties by offset), each carrying its first-occurrence
+// offset. Sequences shorter than psi have no postings.
+func KmerPostings(res []byte, psi int) []Posting {
+	if len(res) < psi || psi <= 0 {
+		return nil
+	}
+	out := make([]Posting, 0, len(res)-psi+1)
+	for i := 0; i+psi <= len(res); i++ {
+		out = append(out, Posting{Hash: KmerHash(res[i : i+psi]), Off: int32(i)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hash != out[j].Hash {
+			return out[i].Hash < out[j].Hash
+		}
+		return out[i].Off < out[j].Off
+	})
+	// Deduplicate, keeping the first (smallest-offset) occurrence.
+	w := 0
+	for i := range out {
+		if i == 0 || out[i].Hash != out[w-1].Hash {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Signature computes the MinHash signature of a posting set under the
+// family: sig[j] is the minimum of Perms[j].Apply over the posting
+// hashes, or MersennePrime61 (an unreachable sentinel — Apply is always
+// < p) when the set is empty. sig is reused if large enough.
+func (f *Family) Signature(postings []Posting, sig []uint64) []uint64 {
+	if cap(sig) < len(f.Perms) {
+		sig = make([]uint64, len(f.Perms))
+	}
+	sig = sig[:len(f.Perms)]
+	for j, pm := range f.Perms {
+		min := uint64(MersennePrime61)
+		for _, po := range postings {
+			if h := pm.Apply(po.Hash); h < min {
+				min = h
+			}
+		}
+		sig[j] = min
+	}
+	return sig
+}
+
+// BandBuckets folds a signature into its LSH band buckets: bucket t is
+// HashTuple over rows [t*rows, (t+1)*rows). Two sequences land in the
+// same bucket of band t exactly when they agree on all of that band's
+// signature rows. len(sig) must be at least bands*rows.
+func BandBuckets(sig []uint64, bands, rows int, out []uint64) []uint64 {
+	if cap(out) < bands {
+		out = make([]uint64, bands)
+	}
+	out = out[:bands]
+	for t := 0; t < bands; t++ {
+		out[t] = HashTuple(sig[t*rows : (t+1)*rows])
+	}
+	return out
+}

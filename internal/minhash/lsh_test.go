@@ -1,0 +1,105 @@
+package minhash
+
+import (
+	"testing"
+)
+
+func TestNewFamilyFixedDeterministic(t *testing.T) {
+	a := NewFamilyFixed(16, 42)
+	b := NewFamilyFixed(16, 42)
+	if len(a.Perms) != 16 {
+		t.Fatalf("got %d perms", len(a.Perms))
+	}
+	for i := range a.Perms {
+		if a.Perms[i] != b.Perms[i] {
+			t.Fatalf("perm %d differs across constructions: %v vs %v", i, a.Perms[i], b.Perms[i])
+		}
+		if a.Perms[i].A == 0 || a.Perms[i].A >= MersennePrime61 {
+			t.Fatalf("perm %d coefficient a=%d outside [1, p)", i, a.Perms[i].A)
+		}
+		if a.Perms[i].B >= MersennePrime61 {
+			t.Fatalf("perm %d coefficient b=%d outside [0, p)", i, a.Perms[i].B)
+		}
+	}
+	c := NewFamilyFixed(16, 43)
+	same := 0
+	for i := range a.Perms {
+		if a.Perms[i] == c.Perms[i] {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("adjacent seeds produced identical families")
+	}
+}
+
+func TestKmerPostings(t *testing.T) {
+	res := []byte("ABCABCAB")
+	ps := KmerPostings(res, 3)
+	// Distinct 3-mers: ABC (off 0), BCA (1), CAB (2) — repeats keep the
+	// first offset only.
+	if len(ps) != 3 {
+		t.Fatalf("got %d postings, want 3: %v", len(ps), ps)
+	}
+	seen := map[uint64]int32{}
+	for i, p := range ps {
+		if i > 0 && ps[i-1].Hash >= p.Hash {
+			t.Fatalf("postings not strictly ascending by hash: %v", ps)
+		}
+		seen[p.Hash] = p.Off
+	}
+	if off, ok := seen[KmerHash([]byte("ABC"))]; !ok || off != 0 {
+		t.Fatalf("ABC first occurrence: got %d", off)
+	}
+	if off, ok := seen[KmerHash([]byte("CAB"))]; !ok || off != 2 {
+		t.Fatalf("CAB first occurrence: got %d", off)
+	}
+	if got := KmerPostings([]byte("AB"), 3); got != nil {
+		t.Fatalf("short sequence should have no postings, got %v", got)
+	}
+}
+
+func TestSignatureAndBands(t *testing.T) {
+	f := NewFamilyFixed(8, 7)
+	pa := KmerPostings([]byte("MKVLATTRWQPLDNSEAGHIKF"), 8)
+	pb := KmerPostings([]byte("MKVLATTRWQPLDNSEAGHIKF"), 8)
+	sa := f.Signature(pa, nil)
+	sb := f.Signature(pb, nil)
+	for j := range sa {
+		if sa[j] != sb[j] {
+			t.Fatalf("identical sequences disagree at row %d", j)
+		}
+		if sa[j] >= MersennePrime61 {
+			t.Fatalf("non-empty signature row %d hit the sentinel", j)
+		}
+	}
+	empty := f.Signature(nil, nil)
+	for j := range empty {
+		if empty[j] != MersennePrime61 {
+			t.Fatalf("empty signature row %d = %d, want sentinel", j, empty[j])
+		}
+	}
+	ba := BandBuckets(sa, 4, 2, nil)
+	bb := BandBuckets(sb, 4, 2, nil)
+	if len(ba) != 4 {
+		t.Fatalf("got %d buckets", len(ba))
+	}
+	for t2 := range ba {
+		if ba[t2] != bb[t2] {
+			t.Fatalf("identical signatures bucket differently in band %d", t2)
+		}
+	}
+	// A different sequence must (with these fixed seeds) land elsewhere in
+	// at least one band.
+	pc := KmerPostings([]byte("GGGGGGGGGGGGGGGGGGGGGG"), 8)
+	bc := BandBuckets(f.Signature(pc, nil), 4, 2, nil)
+	diff := false
+	for t2 := range ba {
+		if ba[t2] != bc[t2] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("unrelated sequences collided in every band")
+	}
+}

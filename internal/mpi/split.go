@@ -1,0 +1,158 @@
+package mpi
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// Sub-communicator support. Split carves a communicator into disjoint
+// rank groups that run independent protocols concurrently over the same
+// underlying transport — the mechanism behind sharded multi-master
+// execution, where each shard group runs its own master-worker phase at
+// the same time as every other group.
+//
+// Isolation is by tag translation rather than separate wires: every
+// group owns a reserved negative tag band, a sub-communicator encodes
+// each tag (user or collective) into its band before handing it to the
+// parent transport, and decodes on receipt. Because message matching on
+// all three transports is per (from, tag), messages from one group can
+// never satisfy a receive posted in another, including RecvAny.
+
+// splitColors is the membership-exchange payload of Split, indexed by
+// parent rank. It is pre-registered for the TCP transport so Split
+// works there without caller-side type registration.
+type splitColors []int32
+
+func init() { gob.Register(splitColors(nil)) }
+
+// exchangeColors is an AllGather of every rank's color, done with a
+// concrete payload type rather than the generic []any collectives (whose
+// assembled slice is not gob-transferable over TCP).
+func (c *Comm) exchangeColors(color int) splitColors {
+	tag := c.nextCollTag()
+	p := c.Size()
+	if c.Rank() == 0 {
+		colors := make(splitColors, p)
+		colors[0] = int32(color)
+		for i := 1; i < p; i++ {
+			m := c.recv(Any, tag)
+			colors[m.From] = m.Data.(splitColors)[0]
+		}
+		for i := 1; i < p; i++ {
+			c.send(i, tag, colors)
+		}
+		return colors
+	}
+	c.send(0, tag, splitColors{int32(color)})
+	return c.recv(0, tag).Data.(splitColors)
+}
+
+// splitCtxSpan is the width of one group's tag band. User and collective
+// tags must stay within ±splitCtxSpan/2 of zero — far beyond anything a
+// realistic protocol consumes.
+const splitCtxSpan = 1 << 20
+
+// maxSplitColor keeps every encoded tag above abortTag, so the poison
+// tag remains unmistakable.
+const maxSplitColor = (1 << 29) / splitCtxSpan
+
+// splitTransport presents a rank group of a parent transport as a
+// compact transport of its own: sub-ranks renumbered 0..n-1 in parent
+// rank order, tags translated into the group's band.
+type splitTransport struct {
+	parent transport
+	ctx    int         // tag-band context: color + 1
+	sub    int         // this rank's position within the group
+	group  []int       // sub rank -> parent rank, ascending
+	subOf  map[int]int // parent rank -> sub rank
+}
+
+// encodeTag maps a sub-communicator tag into the group's reserved band.
+// Tags in (-splitCtxSpan/2, splitCtxSpan/2) map to distinct values in
+// (-(ctx+1)*splitCtxSpan, -ctx*splitCtxSpan], so bands of different
+// groups never overlap each other or the parent's own tags.
+func (t *splitTransport) encodeTag(tag int) int {
+	if tag <= -splitCtxSpan/2 || tag >= splitCtxSpan/2 {
+		panic(fmt.Sprintf("mpi: split tag %d outside ±%d", tag, splitCtxSpan/2))
+	}
+	return -(t.ctx*splitCtxSpan + splitCtxSpan/2 + tag)
+}
+
+func (t *splitTransport) decodeTag(enc int) int {
+	return -enc - t.ctx*splitCtxSpan - splitCtxSpan/2
+}
+
+func (t *splitTransport) rank() int    { return t.sub }
+func (t *splitTransport) size() int    { return len(t.group) }
+func (t *splitTransport) name() string { return t.parent.name() }
+
+func (t *splitTransport) send(to, tag int, data any) int {
+	return t.parent.send(t.group[to], t.encodeTag(tag), data)
+}
+
+func (t *splitTransport) recv(from, tag int) Message {
+	if tag == Any {
+		panic("mpi: split communicators do not support the tag wildcard; receive on a concrete tag")
+	}
+	pfrom := Any
+	if from != Any {
+		pfrom = t.group[from]
+	}
+	m := t.parent.recv(pfrom, t.encodeTag(tag))
+	m.Tag = t.decodeTag(m.Tag)
+	sub, ok := t.subOf[m.From]
+	if !ok {
+		panic(fmt.Sprintf("mpi: split received message from parent rank %d outside its group", m.From))
+	}
+	m.From = sub
+	return m
+}
+
+func (t *splitTransport) advance(seconds float64) { t.parent.advance(seconds) }
+func (t *splitTransport) time() float64           { return t.parent.time() }
+
+// Split partitions the communicator into disjoint sub-communicators:
+// ranks passing the same color land in the same group, renumbered
+// 0..n-1 by ascending parent rank. Every rank of c must call Split
+// collectively with a color in [0, maxSplitColor).
+//
+// The returned communicator shares the parent's transport (and, under
+// simtime, its virtual clock) but is otherwise independent: its own
+// rank/size, its own collective sequence, its own stats, and complete
+// message isolation from the parent and from sibling groups — a Recv or
+// RecvAny posted on one group can only be satisfied by a Send from the
+// same group. Point-to-point and collective traffic on the parent may
+// interleave freely with traffic on its children.
+//
+// Nested splits are not supported; attach metrics and tracers to the
+// child explicitly if its traffic should be accounted separately.
+func (c *Comm) Split(color int) *Comm {
+	if color < 0 || color >= maxSplitColor {
+		panic(fmt.Sprintf("mpi: Split color %d outside [0, %d)", color, maxSplitColor))
+	}
+	if _, nested := c.tr.(*splitTransport); nested {
+		panic("mpi: nested Split is not supported")
+	}
+	colors := c.exchangeColors(color)
+	var group []int
+	for r, v := range colors {
+		if int(v) == color {
+			group = append(group, r)
+		}
+	}
+	subOf := make(map[int]int, len(group))
+	sub := -1
+	for i, r := range group {
+		subOf[r] = i
+		if r == c.Rank() {
+			sub = i
+		}
+	}
+	return &Comm{tr: &splitTransport{
+		parent: c.tr,
+		ctx:    color + 1,
+		sub:    sub,
+		group:  group,
+		subOf:  subOf,
+	}}
+}
